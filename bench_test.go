@@ -1,0 +1,43 @@
+// Root-level benchmarks: one testing.B target per evaluation table/figure.
+// Each iteration regenerates the full experiment in simulated time, so wall
+// time here measures the simulator; the *results* (printed with -v) are the
+// deterministic simulated tables that EXPERIMENTS.md records.
+package dafsio_test
+
+import (
+	"testing"
+
+	"dafsio/internal/bench"
+)
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e := bench.ByID(id)
+	if e == nil {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	for i := 0; i < b.N; i++ {
+		tbl := e.Run()
+		if len(tbl.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+		if i == 0 {
+			b.Logf("\n%s", tbl.String())
+		}
+	}
+}
+
+func BenchmarkT1RawVIA(b *testing.B)          { runExperiment(b, "T1") }
+func BenchmarkT2RequestSize(b *testing.B)     { runExperiment(b, "T2") }
+func BenchmarkT3InlineDirect(b *testing.B)    { runExperiment(b, "T3") }
+func BenchmarkT4CPUOverhead(b *testing.B)     { runExperiment(b, "T4") }
+func BenchmarkT5Scaling(b *testing.B)         { runExperiment(b, "T5") }
+func BenchmarkT6Collective(b *testing.B)      { runExperiment(b, "T6") }
+func BenchmarkT7Breakdown(b *testing.B)       { runExperiment(b, "T7") }
+func BenchmarkT8RegCache(b *testing.B)        { runExperiment(b, "T8") }
+func BenchmarkT9Overlap(b *testing.B)         { runExperiment(b, "T9") }
+func BenchmarkT10OpLatency(b *testing.B)      { runExperiment(b, "T10") }
+func BenchmarkT11Sensitivity(b *testing.B)    { runExperiment(b, "T11") }
+func BenchmarkT12FasterNetworks(b *testing.B) { runExperiment(b, "T12") }
+func BenchmarkT13GbEProfile(b *testing.B)     { runExperiment(b, "T13") }
+func BenchmarkT14DiskBound(b *testing.B)      { runExperiment(b, "T14") }

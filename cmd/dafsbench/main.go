@@ -1,0 +1,160 @@
+// Command dafsbench measures the DAFS protocol layer directly (below
+// MPI-IO): per-operation latency and inline/direct transfer bandwidth
+// against a simulated server, plus a transcript of basic protocol activity.
+//
+// Usage:
+//
+//	dafsbench                # latency + bandwidth sweeps
+//	dafsbench -ops           # per-operation latency only
+//	dafsbench -credits 16    # session credits
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dafsio/internal/cluster"
+	"dafsio/internal/dafs"
+	"dafsio/internal/sim"
+	"dafsio/internal/stats"
+)
+
+func main() {
+	opsOnly := flag.Bool("ops", false, "only the per-operation latency table")
+	credits := flag.Int("credits", 8, "session credits (outstanding requests)")
+	maxInline := flag.Int("inline", 8192, "inline data limit in bytes")
+	flag.Parse()
+
+	opts := &dafs.Options{Credits: *credits, MaxInline: *maxInline}
+	opLatency(opts).Fprint(os.Stdout)
+	if *opsOnly {
+		return
+	}
+	transferBW(opts).Fprint(os.Stdout)
+}
+
+func rig() *cluster.Cluster {
+	return cluster.New(cluster.Config{Clients: 1, DAFS: true})
+}
+
+func mustRun(c *cluster.Cluster) {
+	if err := c.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "dafsbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func opLatency(opts *dafs.Options) *stats.Table {
+	t := &stats.Table{
+		ID:      "dafs-ops",
+		Title:   "DAFS operation latency (average of 16 warm calls)",
+		Columns: []string{"operation", "latency us"},
+	}
+	c := rig()
+	f, _ := c.Store.Create("bench")
+	f.WriteAt(make([]byte, 64<<10), 0)
+	c.K.Spawn("app", func(p *sim.Proc) {
+		cl, err := c.DialDAFS(p, 0, opts)
+		if err != nil {
+			panic(err)
+		}
+		fh, _, err := cl.Lookup(p, "bench")
+		if err != nil {
+			panic(err)
+		}
+		reg := cl.NIC().Register(p, make([]byte, 64<<10))
+		buf := make([]byte, 4096)
+		probes := []struct {
+			name string
+			run  func()
+		}{
+			{"LOOKUP", func() { cl.Lookup(p, "bench") }},
+			{"GETATTR", func() { cl.Getattr(p, fh) }},
+			{"READ 512B inline", func() { cl.Read(p, fh, 0, buf[:512]) }},
+			{"WRITE 512B inline", func() { cl.Write(p, fh, 0, buf[:512]) }},
+			{"READ 4KB inline", func() { cl.Read(p, fh, 0, buf) }},
+			{"READ 64KB direct", func() { cl.ReadDirect(p, fh, 0, reg, 0, 64<<10) }},
+			{"WRITE 64KB direct", func() { cl.WriteDirect(p, fh, 0, reg, 0, 64<<10) }},
+			{"FSYNC", func() { cl.Fsync(p, fh) }},
+		}
+		for _, pr := range probes {
+			pr.run() // warm
+			start := p.Now()
+			const iters = 16
+			for i := 0; i < iters; i++ {
+				pr.run()
+			}
+			t.AddRow(pr.name, stats.Us((p.Now()-start)/iters))
+		}
+		cl.Close(p)
+	})
+	mustRun(c)
+	return t
+}
+
+func transferBW(opts *dafs.Options) *stats.Table {
+	t := &stats.Table{
+		ID:      "dafs-bw",
+		Title:   "DAFS transfer bandwidth (64 pipelined operations per point)",
+		Columns: []string{"size", "inline-wr MB/s", "direct-wr MB/s", "direct-rd MB/s"},
+	}
+	for _, size := range []int{512, 4096, 32768, 262144, 1 << 20} {
+		t.AddRow(stats.Size(int64(size)),
+			bwPoint(opts, size, "inline-write"),
+			bwPoint(opts, size, "direct-write"),
+			bwPoint(opts, size, "direct-read"))
+	}
+	return t
+}
+
+func bwPoint(opts *dafs.Options, size int, mode string) string {
+	if mode == "inline-write" && size > opts.MaxInline {
+		return "-"
+	}
+	c := rig()
+	f, _ := c.Store.Create("bw")
+	if mode == "direct-read" {
+		f.WriteAt(make([]byte, size), 0)
+	}
+	var bw float64
+	c.K.Spawn("app", func(p *sim.Proc) {
+		cl, err := c.DialDAFS(p, 0, opts)
+		if err != nil {
+			panic(err)
+		}
+		fh, _, err := cl.Lookup(p, "bw")
+		if err != nil {
+			panic(err)
+		}
+		const count = 64
+		buf := make([]byte, size)
+		reg := cl.NIC().Register(p, buf)
+		start := p.Now()
+		var ios []*dafs.IO
+		for i := 0; i < count; i++ {
+			var io *dafs.IO
+			switch mode {
+			case "inline-write":
+				io, err = cl.StartWrite(p, fh, 0, buf)
+			case "direct-write":
+				io, err = cl.StartWriteDirect(p, fh, 0, reg, 0, size)
+			case "direct-read":
+				io, err = cl.StartReadDirect(p, fh, 0, reg, 0, size)
+			}
+			if err != nil {
+				panic(err)
+			}
+			ios = append(ios, io)
+		}
+		for _, io := range ios {
+			if _, err := io.Wait(p); err != nil {
+				panic(err)
+			}
+		}
+		bw = stats.MBps(int64(size)*count, p.Now()-start)
+		cl.Close(p)
+	})
+	mustRun(c)
+	return stats.BW(bw)
+}

@@ -1,0 +1,152 @@
+// Command viaperf runs raw VIA microbenchmarks between two simulated hosts:
+// ping-pong latency, streaming send bandwidth, and one-sided RDMA read and
+// write bandwidth across message sizes. It exercises the transport beneath
+// DAFS in isolation, the way vendors characterized VIA NICs.
+//
+// Usage:
+//
+//	viaperf                 # default size sweep
+//	viaperf -size 65536     # one size
+//	viaperf -count 128      # messages per bandwidth measurement
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dafsio/internal/fabric"
+	"dafsio/internal/model"
+	"dafsio/internal/sim"
+	"dafsio/internal/stats"
+	"dafsio/internal/via"
+)
+
+type pair struct {
+	k          *sim.Kernel
+	nicA, nicB *via.NIC
+	viA, viB   *via.VI
+}
+
+func newPair() *pair {
+	prof := model.CLAN1998()
+	k := sim.NewKernel()
+	fab := fabric.New(k, prof)
+	prov := via.NewProvider(fab)
+	nicA := prov.NewNIC(fab.AddNode("a"))
+	nicB := prov.NewNIC(fab.AddNode("b"))
+	viA := nicA.NewVI(nicA.NewCQ("a.s"), nicA.NewCQ("a.r"))
+	viB := nicB.NewVI(nicB.NewCQ("b.s"), nicB.NewCQ("b.r"))
+	via.Connect(viA, viB)
+	return &pair{k: k, nicA: nicA, nicB: nicB, viA: viA, viB: viB}
+}
+
+func mustRun(k *sim.Kernel) {
+	if err := k.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "viaperf: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func pingpong(size, iters int) sim.Time {
+	v := newPair()
+	var elapsed sim.Time
+	v.k.Spawn("a", func(p *sim.Proc) {
+		send := v.nicA.Register(p, make([]byte, size))
+		recv := v.nicA.Register(p, make([]byte, size))
+		start := p.Now()
+		for i := 0; i < iters; i++ {
+			v.viA.PostRecv(p, &via.Descriptor{Region: recv, Len: size})
+			v.viA.PostSend(p, &via.Descriptor{Op: via.OpSend, Region: send, Len: size})
+			v.viA.RecvCQ.Wait(p)
+			v.viA.SendCQ.Wait(p)
+		}
+		elapsed = p.Now() - start
+	})
+	v.k.Spawn("b", func(p *sim.Proc) {
+		send := v.nicB.Register(p, make([]byte, size))
+		recv := v.nicB.Register(p, make([]byte, size))
+		for i := 0; i < iters; i++ {
+			v.viB.PostRecv(p, &via.Descriptor{Region: recv, Len: size})
+			v.viB.RecvCQ.Wait(p)
+			v.viB.PostSend(p, &via.Descriptor{Op: via.OpSend, Region: send, Len: size})
+			v.viB.SendCQ.Wait(p)
+		}
+	})
+	mustRun(v.k)
+	return elapsed / sim.Time(2*iters)
+}
+
+func bandwidth(size, count int, op via.Op) float64 {
+	v := newPair()
+	ready := sim.NewFuture[via.MemHandle](v.k)
+	var start, end sim.Time
+	v.k.Spawn("b", func(p *sim.Proc) {
+		r := v.nicB.Register(p, make([]byte, size))
+		if op == via.OpSend {
+			for i := 0; i < count; i++ {
+				v.viB.PostRecv(p, &via.Descriptor{Region: r, Len: size})
+			}
+		}
+		ready.Set(r.Handle)
+		if op == via.OpSend {
+			for i := 0; i < count; i++ {
+				v.viB.RecvCQ.Wait(p)
+			}
+			end = p.Now()
+		}
+	})
+	v.k.Spawn("a", func(p *sim.Proc) {
+		h := ready.Get(p)
+		r := v.nicA.Register(p, make([]byte, size))
+		start = p.Now()
+		for i := 0; i < count; i++ {
+			d := &via.Descriptor{Op: op, Region: r, Len: size}
+			if op != via.OpSend {
+				d.RemoteHandle = h
+			}
+			if err := v.viA.PostSend(p, d); err != nil {
+				panic(err)
+			}
+		}
+		for i := 0; i < count; i++ {
+			if c := v.viA.SendCQ.Wait(p); c.Err != nil {
+				panic(c.Err)
+			}
+		}
+		if op != via.OpSend {
+			end = p.Now()
+		}
+	})
+	mustRun(v.k)
+	return stats.MBps(int64(size)*int64(count), end-start)
+}
+
+func main() {
+	size := flag.Int("size", 0, "single message size (0 = sweep)")
+	count := flag.Int("count", 64, "messages per bandwidth point")
+	iters := flag.Int("iters", 16, "ping-pong iterations")
+	flag.Parse()
+
+	if *size < 0 || *count < 1 || *iters < 1 {
+		fmt.Fprintln(os.Stderr, "viaperf: -size must be >= 0, -count and -iters >= 1")
+		os.Exit(2)
+	}
+	sizes := []int{8, 64, 512, 4096, 16384, 65536, 262144, 1 << 20}
+	if *size > 0 {
+		sizes = []int{*size}
+	}
+	t := &stats.Table{
+		ID:      "viaperf",
+		Title:   "Raw VIA microbenchmarks (clan-1998 profile)",
+		Columns: []string{"size", "1-way us", "send MB/s", "rdma-wr MB/s", "rdma-rd MB/s"},
+	}
+	for _, s := range sizes {
+		t.AddRow(stats.Size(int64(s)),
+			stats.Us(pingpong(s, *iters)),
+			stats.BW(bandwidth(s, *count, via.OpSend)),
+			stats.BW(bandwidth(s, *count, via.OpRDMAWrite)),
+			stats.BW(bandwidth(s, *count, via.OpRDMARead)))
+	}
+	t.Fprint(os.Stdout)
+}

@@ -1,0 +1,149 @@
+// Sharedlog: parallel event logging with shared file pointers.
+//
+// Four ranks emit variable-length event records into one log file, three
+// ways:
+//
+//   - MPI_File_write_shared: each record lands at the shared pointer,
+//     atomically advanced per write — records interleave in completion
+//     order, never overlapping (the pointer service on rank 0 arbitrates).
+//   - MPI_File_write_ordered: each logging round is collective and the
+//     records land in rank order — a deterministic, replayable log.
+//   - DAFS APPEND: the protocol's own atomic append, with the *server*
+//     choosing the offset — no MPI coordination at all.
+//
+// After each run the log is parsed and every record accounted for.
+//
+// Run with: go run ./examples/sharedlog
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"dafsio/internal/cluster"
+	"dafsio/internal/mpiio"
+	"dafsio/internal/sim"
+	"dafsio/internal/storage"
+)
+
+const (
+	nranks = 4
+	rounds = 8
+)
+
+// record builds one length-prefixed log record for (rank, round).
+func record(rank, round int) []byte {
+	payload := 40 + 13*rank + 7*round // variable length
+	rec := make([]byte, 8+payload)
+	binary.LittleEndian.PutUint16(rec[0:], uint16(len(rec)))
+	binary.LittleEndian.PutUint16(rec[2:], uint16(rank))
+	binary.LittleEndian.PutUint32(rec[4:], uint32(round))
+	for i := range rec[8:] {
+		rec[8+i] = byte(rank*31 + round)
+	}
+	return rec
+}
+
+// parseLog walks the records and returns how many valid records each rank
+// contributed, plus whether records appeared strictly in rank order within
+// each round-robin group.
+func parseLog(f *storage.File) (perRank map[int]int, total int) {
+	perRank = make(map[int]int)
+	data := f.Slice(0, int(f.Size()))
+	for pos := 0; pos+8 <= len(data); {
+		size := int(binary.LittleEndian.Uint16(data[pos:]))
+		if size < 8 || pos+size > len(data) {
+			log.Fatalf("corrupt record at %d (size %d)", pos, size)
+		}
+		rank := int(binary.LittleEndian.Uint16(data[pos+2:]))
+		round := int(binary.LittleEndian.Uint32(data[pos+4:]))
+		want := record(rank, round)
+		if size != len(want) {
+			log.Fatalf("record (%d,%d) wrong length", rank, round)
+		}
+		for i := 8; i < size; i++ {
+			if data[pos+i] != want[i] {
+				log.Fatalf("record (%d,%d) corrupt at byte %d", rank, round, i)
+			}
+		}
+		perRank[rank]++
+		total++
+		pos += size
+	}
+	return perRank, total
+}
+
+// run logs with the given method and returns the elapsed simulated time.
+func run(method string) sim.Time {
+	c := cluster.New(cluster.Config{Clients: nranks, DAFS: true, MPI: true})
+	var elapsed sim.Time
+	err := c.SpawnClients(func(p *sim.Proc, i int) {
+		rank := c.World.Rank(i)
+		client, err := c.DialDAFS(p, i, nil)
+		if err != nil {
+			log.Fatalf("dial: %v", err)
+		}
+		f, err := mpiio.Open(p, rank, mpiio.NewDAFSDriver(client), "events.log",
+			mpiio.ModeRdWr|mpiio.ModeCreate, nil)
+		if err != nil {
+			log.Fatalf("open: %v", err)
+		}
+		// DAFS append needs the raw session handle.
+		fh, _, err := client.Lookup(p, "events.log")
+		if err != nil {
+			log.Fatalf("lookup: %v", err)
+		}
+		rank.Barrier(p)
+		start := p.Now()
+		for round := 0; round < rounds; round++ {
+			rec := record(i, round)
+			switch method {
+			case "shared":
+				if n, err := f.WriteShared(p, rec); err != nil || n != len(rec) {
+					log.Fatalf("write_shared: n=%d err=%v", n, err)
+				}
+			case "ordered":
+				if n, err := f.WriteOrdered(p, rec); err != nil || n != len(rec) {
+					log.Fatalf("write_ordered: n=%d err=%v", n, err)
+				}
+			case "append":
+				if _, err := client.Append(p, fh, rec); err != nil {
+					log.Fatalf("append: %v", err)
+				}
+			}
+		}
+		rank.Barrier(p)
+		if i == 0 {
+			elapsed = p.Now() - start
+		}
+		f.Close(p)
+	})
+	if err != nil {
+		log.Fatalf("simulation: %v", err)
+	}
+
+	// Audit the log.
+	file, _ := c.Store.Lookup("events.log")
+	perRank, total := parseLog(file)
+	if total != nranks*rounds {
+		log.Fatalf("%s: %d records, want %d", method, total, nranks*rounds)
+	}
+	for r := 0; r < nranks; r++ {
+		if perRank[r] != rounds {
+			log.Fatalf("%s: rank %d has %d records", method, r, perRank[r])
+		}
+	}
+	return elapsed
+}
+
+func main() {
+	fmt.Printf("%d ranks x %d rounds of variable-length records into one log\n\n", nranks, rounds)
+	for _, m := range []string{"shared", "ordered", "append"} {
+		el := run(m)
+		fmt.Printf("  %-8s: all %d records intact, no overlaps  (%v)\n", m, nranks*rounds, el)
+	}
+	fmt.Println("\nshared = MPI_File_write_shared (pointer service arbitration)")
+	fmt.Println("ordered = MPI_File_write_ordered (rank-order collective)")
+	fmt.Println("append = DAFS atomic append (server picks the offset)")
+}

@@ -1,0 +1,3 @@
+module dafsio
+
+go 1.22

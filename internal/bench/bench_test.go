@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parse pulls a numeric cell out of a table.
+
+func cellOf(t *testing.T, rows [][]string, row, col int) float64 {
+	t.Helper()
+	s := strings.TrimSuffix(strings.TrimSuffix(rows[row][col], "%"), "x")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) = %q not numeric: %v", row, col, rows[row][col], err)
+	}
+	return v
+}
+
+func TestRegistryComplete(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All {
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Run == nil || e.Title == "" {
+			t.Fatalf("experiment %s incomplete", e.ID)
+		}
+		if ByID(e.ID) == nil {
+			t.Fatalf("ByID(%s) = nil", e.ID)
+		}
+	}
+	if len(All) != 14 {
+		t.Fatalf("expected 14 experiments, have %d", len(All))
+	}
+	if ByID("T99") != nil {
+		t.Fatal("ByID invented an experiment")
+	}
+}
+
+// TestT1Shape validates the transport calibration: single-digit-to-teens
+// microsecond small-message latency and near-link-rate peak bandwidth.
+func TestT1Shape(t *testing.T) {
+	tbl := T1RawVIA()
+	if len(tbl.Rows) < 5 {
+		t.Fatalf("too few rows: %d", len(tbl.Rows))
+	}
+	smallLat := cellOf(t, tbl.Rows, 0, 1)
+	if smallLat < 4 || smallLat > 15 {
+		t.Errorf("8B one-way latency %.1fus out of cLAN range", smallLat)
+	}
+	last := len(tbl.Rows) - 1
+	peak := cellOf(t, tbl.Rows, last, 2)
+	if peak < 80 || peak > 160 {
+		t.Errorf("peak send bandwidth %.1f MB/s out of range", peak)
+	}
+	// Bandwidth must be monotone nondecreasing with size (within 1%).
+	for i := 1; i <= last; i++ {
+		if cellOf(t, tbl.Rows, i, 2) < cellOf(t, tbl.Rows, i-1, 2)*0.99 {
+			t.Errorf("send bandwidth not monotone at row %d", i)
+		}
+	}
+}
+
+// TestT4Shape validates the paper's central claim in the harness itself:
+// DAFS client CPU per byte is at least 10x below NFS.
+func TestT4Shape(t *testing.T) {
+	tbl := T4CPUOverhead()
+	dafsRead := cellOf(t, tbl.Rows, 0, 2) // cpu ms/MB
+	nfsRead := cellOf(t, tbl.Rows, 2, 2)
+	if nfsRead < 10*dafsRead {
+		t.Errorf("CPU gap too small: dafs=%.2f nfs=%.2f ms/MB", dafsRead, nfsRead)
+	}
+	dafsBW := cellOf(t, tbl.Rows, 0, 1)
+	nfsBW := cellOf(t, tbl.Rows, 2, 1)
+	if dafsBW <= nfsBW {
+		t.Errorf("DAFS read bandwidth %.1f not above NFS %.1f", dafsBW, nfsBW)
+	}
+}
+
+// TestT8Shape validates that the registration cache always helps and helps
+// small transfers most.
+func TestT8Shape(t *testing.T) {
+	tbl := T8RegCache()
+	var prev float64 = 1e9
+	for i := range tbl.Rows {
+		sp := cellOf(t, tbl.Rows, i, 3)
+		if sp < 1.0 {
+			t.Errorf("row %d: cache slowdown %.2fx", i, sp)
+		}
+		if sp > prev*1.10 {
+			t.Errorf("row %d: speedup grew with size (%.2f after %.2f)", i, sp, prev)
+		}
+		prev = sp
+	}
+}
+
+// TestDeterministicTables re-runs a fast experiment and requires identical
+// output.
+func TestDeterministicTables(t *testing.T) {
+	a := T9Overlap().String()
+	b := T9Overlap().String()
+	if a != b {
+		t.Fatalf("experiment not deterministic:\n%s\nvs\n%s", a, b)
+	}
+}

@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"dafsio/internal/model"
+	"dafsio/internal/stats"
+)
+
+// T12FasterNetworks is the forward-looking experiment (the era's
+// future-work argument for RDMA transports): as link rates climb, a
+// kernel-path client must spend proportionally more CPU per second to keep
+// the pipe full, while the OS-bypass client's CPU cost per byte stays
+// constant — so the DAFS advantage *grows* with network speed.
+func T12FasterNetworks() *stats.Table {
+	t := &stats.Table{
+		ID:    "T12",
+		Title: "Scaling the network: 1MB reads as the SAN gets faster",
+		Note: "all other constants fixed at clan-1998; nfs-cpu is client CPU while streaming.\n" +
+			"faster wires widen the DAFS lead — the historical case for RDMA transports",
+		Columns: []string{"link", "dafs MB/s", "nfs MB/s", "ratio", "dafs-cpu", "nfs-cpu"},
+	}
+	const (
+		size  = 1 << 20
+		total = 8 << 20
+	)
+	links := []struct {
+		name string
+		bw   float64
+	}{
+		{"0.6 Gb/s", 78.125e6},
+		{"1.25 Gb/s", 156.25e6},
+		{"2.5 Gb/s", 312.5e6},
+		{"10 Gb/s", 1250e6},
+	}
+	for _, l := range links {
+		mk := func() *model.Profile {
+			p := model.CLAN1998()
+			p.LinkBandwidth = l.bw
+			// Faster fabrics shipped with faster DMA engines; scale the
+			// NIC so the link stays the data-path bottleneck, as it did
+			// historically.
+			if p.DMABandwidth < 2*l.bw {
+				p.DMABandwidth = 2 * l.bw
+			}
+			return p
+		}
+		d := dafsTransferProf(mk(), size, total, false, nil, nil)
+		n := nfsTransferProf(mk(), size, total, false)
+		util := func(r transferResult) float64 { return float64(r.cpuMB) / 1e9 * r.bw }
+		t.AddRow(l.name,
+			stats.BW(d.bw), stats.BW(n.bw), stats.Ratio(d.bw/n.bw),
+			stats.Pct(util(d)), stats.Pct(util(n)))
+	}
+	return t
+}
+
+// T13GbEProfile re-runs the request-size curve on the gbe-2000 profile
+// (VIA emulated over gigabit Ethernet hardware): slower and
+// higher-latency, but the protocol-level conclusions persist on commodity
+// parts.
+func T13GbEProfile() *stats.Table {
+	t := &stats.Table{
+		ID:      "T13",
+		Title:   "Request-size curve on the gbe-2000 profile (commodity hardware)",
+		Note:    "same software stack; 1 Gb/s store-and-forward Ethernet SAN, 1500B cells",
+		Columns: []string{"request", "dafs-rd MB/s", "nfs-rd MB/s", "ratio"},
+	}
+	for _, size := range []int{2048, 32768, 524288} {
+		total := totalFor(size)
+		d := dafsTransferProf(model.GbE2000(), size, total, false, nil, nil)
+		n := nfsTransferProf(model.GbE2000(), size, total, false)
+		t.AddRow(stats.Size(int64(size)), stats.BW(d.bw), stats.BW(n.bw), stats.Ratio(d.bw/n.bw))
+	}
+	return t
+}

@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"dafsio/internal/cluster"
+	"dafsio/internal/mpiio"
+	"dafsio/internal/sim"
+	"dafsio/internal/stats"
+)
+
+// scalePoint measures aggregate read bandwidth for n clients hammering one
+// server, each reading its own region of a shared file in 64KB requests.
+func scalePoint(n int, nfsStack bool) (aggBW float64, srvUtil float64) {
+	const (
+		chunk   = 64 << 10
+		perNode = 4 << 20
+	)
+	c := cluster.New(cluster.Config{Clients: n, DAFS: !nfsStack, NFS: nfsStack})
+	prefill(c, "shared", int64(n)*perNode)
+
+	// Gate: all clients open first, then measure from a common instant.
+	ready := sim.NewWaitGroup(c.K, n)
+	var start, end sim.Time
+	srvCPU := c.ServerNode.CPU
+	var cpu0 sim.Time
+	err := c.SpawnClients(func(p *sim.Proc, i int) {
+		var f *mpiio.File
+		if nfsStack {
+			f = openNfs(p, c, i, "shared", mpiio.ModeRdOnly)
+		} else {
+			f, _ = openDafs(p, c, i, "shared", mpiio.ModeRdOnly, nil)
+		}
+		buf := make([]byte, chunk)
+		f.ReadAt(p, int64(i)*perNode, buf) // warm
+		ready.Done()
+		ready.Wait(p)
+		if start == 0 {
+			start = p.Now()
+			cpu0 = srvCPU.BusyTime()
+		}
+		base := int64(i) * perNode
+		for off := int64(0); off < perNode; off += chunk {
+			if _, err := f.ReadAt(p, base+off, buf); err != nil {
+				panic(err)
+			}
+		}
+		if now := p.Now(); now > end {
+			end = now
+		}
+		f.Close(p)
+	})
+	if err != nil {
+		panic(err)
+	}
+	elapsed := end - start
+	aggBW = stats.MBps(int64(n)*perNode, elapsed)
+	srvUtil = float64(srvCPU.BusyTime()-cpu0) / float64(elapsed)
+	return aggBW, srvUtil
+}
+
+// T5Scaling reproduces the client-scaling figure: aggregate bandwidth and
+// server CPU load as clients are added.
+func T5Scaling() *stats.Table {
+	t := &stats.Table{
+		ID:      "T5",
+		Title:   "Aggregate read bandwidth vs number of clients (64KB requests)",
+		Note:    "DAFS saturates the server link; NFS saturates the server CPU first",
+		Columns: []string{"clients", "dafs MB/s", "dafs srv-cpu", "nfs MB/s", "nfs srv-cpu"},
+	}
+	for _, n := range []int{1, 2, 4, 6, 8} {
+		dbw, dcpu := scalePoint(n, false)
+		nbw, ncpu := scalePoint(n, true)
+		t.AddRow(itoa(n), stats.BW(dbw), stats.Pct(dcpu), stats.BW(nbw), stats.Pct(ncpu))
+	}
+	return t
+}
+
+// T9Overlap measures how much of the I/O time nonblocking writes hide
+// behind computation.
+func T9Overlap() *stats.Table {
+	t := &stats.Table{
+		ID:      "T9",
+		Title:   "Nonblocking I/O overlap (8 iterations of compute + 512KB write)",
+		Note:    "overlapped issues iwrite_at, computes, then waits; ideal = max(compute, I/O)",
+		Columns: []string{"mode", "elapsed ms", "vs blocking"},
+	}
+	const (
+		iters   = 8
+		size    = 512 << 10
+		compute = 4 * sim.Millisecond
+	)
+	measure := func(overlap bool) sim.Time {
+		c := newDafsRig()
+		if _, err := c.Store.Create("f"); err != nil {
+			panic(err)
+		}
+		var elapsed sim.Time
+		c.K.Spawn("app", func(p *sim.Proc) {
+			f, _ := openDafs(p, c, 0, "f", mpiio.ModeRdWr, nil)
+			node := c.ClientNodes[0]
+			// Computation timeshares the CPU in scheduler-quantum slices,
+			// so the I/O path's (tiny) CPU needs interleave with it.
+			work := func() {
+				const quantum = 100 * sim.Microsecond
+				for done := sim.Time(0); done < compute; done += quantum {
+					node.Compute(p, quantum)
+				}
+			}
+			buf := make([]byte, size)
+			f.WriteAt(p, 0, buf) // warm registration
+			start := p.Now()
+			for i := 0; i < iters; i++ {
+				off := int64(i) * size
+				if overlap {
+					req := f.IwriteAt(p, off, buf)
+					work()
+					if _, err := req.Wait(p); err != nil {
+						panic(err)
+					}
+				} else {
+					if _, err := f.WriteAt(p, off, buf); err != nil {
+						panic(err)
+					}
+					work()
+				}
+			}
+			elapsed = p.Now() - start
+			f.Close(p)
+		})
+		mustRun(c)
+		return elapsed
+	}
+	blocking := measure(false)
+	overlapped := measure(true)
+	t.AddRow("blocking", msFmt(blocking), stats.Ratio(1))
+	t.AddRow("overlapped", msFmt(overlapped), stats.Ratio(float64(blocking)/float64(overlapped)))
+	return t
+}

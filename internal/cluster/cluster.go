@@ -1,0 +1,150 @@
+// Package cluster assembles the standard experiment topology: one file
+// server and N client hosts on a shared SAN, with a DAFS server (over VIA),
+// an NFS server (over the kernel stack), or both, exporting the same store
+// — plus an optional MPI world spanning the clients.
+//
+// Every test, benchmark, example, and CLI in this repository builds its
+// machines through this package so that all results come from identical
+// hardware assumptions.
+package cluster
+
+import (
+	"fmt"
+
+	"dafsio/internal/dafs"
+	"dafsio/internal/fabric"
+	"dafsio/internal/kstack"
+	"dafsio/internal/model"
+	"dafsio/internal/mpi"
+	"dafsio/internal/nfs"
+	"dafsio/internal/sim"
+	"dafsio/internal/storage"
+	"dafsio/internal/via"
+)
+
+// Config selects the topology.
+type Config struct {
+	// Clients is the number of client hosts (>= 1).
+	Clients int
+	// Profile is the cost model (default model.CLAN1998()).
+	Profile *model.Profile
+	// DAFS starts a DAFS server and puts a VIA NIC on every client.
+	DAFS bool
+	// NFS starts an NFS server and puts a kernel stack on every client.
+	NFS bool
+	// MPI builds an MPI world across the clients (requires VIA NICs; they
+	// are added even when DAFS is off).
+	MPI bool
+	// ServerDisk backs the store with a disk model (default: fully
+	// cached, the paper-era configuration).
+	ServerDisk bool
+	// DAFSOptions / NFSOptions tune the servers.
+	DAFSOptions *dafs.ServerOptions
+	NFSOptions  *nfs.ServerOptions
+}
+
+// Cluster is the assembled testbed.
+type Cluster struct {
+	K     *sim.Kernel
+	Prof  *model.Profile
+	Fab   *fabric.Fabric
+	Prov  *via.Provider
+	Store *storage.Store
+	Disk  *storage.Disk
+
+	ServerNode *fabric.Node
+	DAFSSrv    *dafs.Server
+	NFSSrv     *nfs.Server
+
+	ClientNodes []*fabric.Node
+	NICs        []*via.NIC      // per client (when DAFS or MPI)
+	Stacks      []*kstack.Stack // per client (when NFS)
+	World       *mpi.World      // when MPI
+}
+
+// New builds a cluster.
+func New(cfg Config) *Cluster {
+	if cfg.Clients < 1 {
+		panic("cluster: need at least one client")
+	}
+	prof := cfg.Profile
+	if prof == nil {
+		prof = model.CLAN1998()
+	}
+	k := sim.NewKernel()
+	c := &Cluster{
+		K:     k,
+		Prof:  prof,
+		Fab:   fabric.New(k, prof),
+		Store: storage.NewStore(),
+	}
+	c.Prov = via.NewProvider(c.Fab)
+	c.ServerNode = c.Fab.AddNode("server")
+	if cfg.ServerDisk {
+		c.Disk = storage.NewDisk(k, "server.disk", prof.DiskSeek, prof.DiskBW)
+	}
+	if cfg.DAFS {
+		dopts := cfg.DAFSOptions
+		if dopts == nil {
+			dopts = &dafs.ServerOptions{}
+		}
+		if dopts.Disk == nil {
+			dopts.Disk = c.Disk
+		}
+		c.DAFSSrv = dafs.NewServer(c.Prov.NewNIC(c.ServerNode), c.Store, dopts)
+	}
+	if cfg.NFS {
+		nopts := cfg.NFSOptions
+		if nopts == nil {
+			nopts = &nfs.ServerOptions{}
+		}
+		if nopts.Disk == nil {
+			nopts.Disk = c.Disk
+		}
+		srvStack := kstack.New(c.ServerNode, prof, k)
+		c.NFSSrv = nfs.NewServer(srvStack, prof, k, c.Store, nopts)
+	}
+	for i := 0; i < cfg.Clients; i++ {
+		node := c.Fab.AddNode(fmt.Sprintf("client%d", i))
+		c.ClientNodes = append(c.ClientNodes, node)
+		if cfg.DAFS || cfg.MPI {
+			c.NICs = append(c.NICs, c.Prov.NewNIC(node))
+		}
+		if cfg.NFS {
+			c.Stacks = append(c.Stacks, kstack.New(node, prof, k))
+		}
+	}
+	if cfg.MPI {
+		c.World = mpi.NewWorld(c.NICs)
+	}
+	return c
+}
+
+// DialDAFS opens a DAFS session from client i.
+func (c *Cluster) DialDAFS(p *sim.Proc, i int, opts *dafs.Options) (*dafs.Client, error) {
+	if c.DAFSSrv == nil {
+		return nil, fmt.Errorf("cluster: no DAFS server configured")
+	}
+	return dafs.Dial(p, c.NICs[i], c.DAFSSrv, opts)
+}
+
+// MountNFS mounts the NFS export from client i.
+func (c *Cluster) MountNFS(p *sim.Proc, i int, opts *nfs.MountOptions) (*nfs.Client, error) {
+	if c.NFSSrv == nil {
+		return nil, fmt.Errorf("cluster: no NFS server configured")
+	}
+	return nfs.Mount(p, c.Stacks[i], c.NFSSrv, opts)
+}
+
+// Run drives the simulation to completion.
+func (c *Cluster) Run() error { return c.K.Run() }
+
+// SpawnClients starts fn on every client host and runs the simulation.
+// Each process receives its client index.
+func (c *Cluster) SpawnClients(fn func(p *sim.Proc, i int)) error {
+	for i := range c.ClientNodes {
+		i := i
+		c.K.Spawn(fmt.Sprintf("client%d.app", i), func(p *sim.Proc) { fn(p, i) })
+	}
+	return c.Run()
+}

@@ -1,0 +1,645 @@
+package dafs
+
+import (
+	"fmt"
+
+	"dafsio/internal/fabric"
+	"dafsio/internal/model"
+	"dafsio/internal/sim"
+	"dafsio/internal/via"
+)
+
+// Options configures a client session.
+type Options struct {
+	// Credits is the number of outstanding requests the session allows
+	// (and the number of receive descriptors each side pre-posts).
+	Credits int
+	// MaxInline is the largest data payload carried inside a message;
+	// larger transfers must use the direct (RDMA) operations.
+	MaxInline int
+}
+
+func (o *Options) withDefaults() Options {
+	out := Options{Credits: 8, MaxInline: 8192}
+	if o != nil {
+		if o.Credits > 0 {
+			out.Credits = o.Credits
+		}
+		if o.MaxInline > 0 {
+			out.MaxInline = o.MaxInline
+		}
+	}
+	return out
+}
+
+// ClientStats counts a session's activity.
+type ClientStats struct {
+	Ops              int64
+	InlineReadBytes  int64
+	InlineWriteBytes int64
+	DirectReadBytes  int64
+	DirectWriteBytes int64
+}
+
+// slot is one registered message buffer.
+type slot struct {
+	reg  *via.Region
+	off  int
+	size int
+}
+
+func (s *slot) bytes() []byte { return s.reg.Bytes()[s.off : s.off+s.size] }
+
+type callResult struct {
+	status Status
+	body   []byte
+	err    error // transport-level failure
+}
+
+// Call is an in-flight request (the unit of the client's asynchronous API).
+type Call struct {
+	c   *Client
+	fut *sim.Future[callResult]
+}
+
+// wait blocks until the response arrives and returns the decoded result.
+func (call *Call) wait(p *sim.Proc) (callResult, error) {
+	res := call.fut.Get(p)
+	call.c.node.Compute(p, call.c.prof.WakeupLatency)
+	if res.err != nil {
+		return res, res.err
+	}
+	return res, res.status.Err()
+}
+
+// Client is one DAFS session. All methods must be called from simulated
+// processes on the client's node; they are safe for concurrent use by
+// multiple processes (outstanding requests are limited by session credits).
+type Client struct {
+	nic  *via.NIC
+	node *fabric.Node
+	prof *model.Profile
+	k    *sim.Kernel
+
+	vi      *via.VI
+	cq      *via.CQ
+	credits *sim.Resource
+	reqPool *sim.Chan[*slot]
+
+	pending   map[uint32]*Call
+	nextXID   uint32
+	maxInline int
+	slotSize  int
+
+	closed  bool
+	failErr error
+	stats   ClientStats
+}
+
+// Dial establishes a session with the server: it creates and connects the
+// VI pair, registers message buffers on both sides, pre-posts receive
+// descriptors, and runs the protocol CONNECT exchange.
+func Dial(p *sim.Proc, nic *via.NIC, srv *Server, opts *Options) (*Client, error) {
+	o := opts.withDefaults()
+	prov := nic.Provider()
+	c := &Client{
+		nic:       nic,
+		node:      nic.Node,
+		prof:      prov.Prof,
+		k:         prov.K,
+		pending:   make(map[uint32]*Call),
+		maxInline: o.MaxInline,
+		slotSize:  HeaderLen + 512 + o.MaxInline,
+	}
+	c.cq = nic.NewCQ(nic.Node.Name + ".dafs.cq")
+	c.vi = nic.NewVI(c.cq, c.cq)
+	c.credits = sim.NewResource(c.k, nic.Node.Name+".dafs.credits", o.Credits)
+	c.reqPool = sim.NewChan[*slot](c.k, 0)
+
+	// Connection management is out of band in VIA; model it as one round
+	// trip plus the server-side session setup cost.
+	p.Wait(2 * c.prof.WireLatency)
+	if err := srv.accept(p, c.vi, o, c.slotSize); err != nil {
+		return nil, err
+	}
+
+	// Registered message buffers: one pool for requests, one for
+	// responses (pre-posted receives).
+	reqReg := nic.Register(p, make([]byte, o.Credits*c.slotSize))
+	respReg := nic.Register(p, make([]byte, o.Credits*c.slotSize))
+	for i := 0; i < o.Credits; i++ {
+		c.reqPool.TrySend(&slot{reg: reqReg, off: i * c.slotSize, size: c.slotSize})
+		rs := &slot{reg: respReg, off: i * c.slotSize, size: c.slotSize}
+		if err := c.vi.PostRecv(p, &via.Descriptor{Region: respReg, Offset: rs.off, Len: rs.size, Ctx: rs}); err != nil {
+			return nil, err
+		}
+	}
+	c.k.SpawnDaemon(nic.Node.Name+".dafs.dispatch", c.dispatch)
+
+	// Protocol-level CONNECT.
+	res, err := c.roundtrip(p, ProcConnect, func(w *wr) {
+		w.U16(uint16(o.Credits))
+		w.U32(uint32(o.MaxInline))
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dafs: connect: %w", err)
+	}
+	r := newRd(res.body)
+	gotCredits, gotInline := int(r.U16()), int(r.U32())
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if gotCredits != o.Credits || gotInline != o.MaxInline {
+		return nil, fmt.Errorf("%w: negotiation mismatch", ErrProto)
+	}
+	return c, nil
+}
+
+// NIC returns the client's VIA NIC (for registering user buffers used in
+// direct transfers).
+func (c *Client) NIC() *via.NIC { return c.nic }
+
+// Node returns the client's host.
+func (c *Client) Node() *fabric.Node { return c.node }
+
+// MaxInline returns the negotiated inline data limit.
+func (c *Client) MaxInline() int { return c.maxInline }
+
+// MaxBatch returns the largest segment list one batch request can carry on
+// this session (bounded by the protocol limit and the message size).
+func (c *Client) MaxBatch() int {
+	bySlot := (c.slotSize - HeaderLen - 20) / 12
+	return min(MaxBatchSegs, bySlot)
+}
+
+// Stats returns a copy of the session counters.
+func (c *Client) Stats() ClientStats { return c.stats }
+
+// dispatch is the session's completion handler: it routes responses to
+// waiting calls, recycles request buffers, and re-posts receives.
+func (c *Client) dispatch(p *sim.Proc) {
+	for {
+		comp := c.cq.Wait(p)
+		switch comp.Op {
+		case via.OpSend:
+			s := comp.Desc.Ctx.(*slot)
+			if comp.Err != nil {
+				c.fail(comp.Err)
+			}
+			c.reqPool.Send(p, s)
+		case via.OpRecv:
+			s := comp.Desc.Ctx.(*slot)
+			if comp.Err != nil {
+				c.fail(comp.Err)
+				continue
+			}
+			msg := s.bytes()[:comp.Len]
+			hdr, err := decodeHeader(msg)
+			if err != nil {
+				c.fail(err)
+				continue
+			}
+			c.node.Compute(p, c.prof.MarshalCost)
+			body := make([]byte, hdr.BodyLen)
+			copy(body, msg[HeaderLen:HeaderLen+int(hdr.BodyLen)])
+			if hdr.BodyLen > 0 {
+				// Copying the payload out of the registered receive
+				// buffer: the inline path's receive-side copy.
+				c.node.Compute(p, c.prof.CopyTime(int(hdr.BodyLen)))
+			}
+			if err := c.vi.PostRecv(p, &via.Descriptor{Region: s.reg, Offset: s.off, Len: s.size, Ctx: s}); err != nil {
+				c.fail(err)
+			}
+			call := c.pending[hdr.XID]
+			delete(c.pending, hdr.XID)
+			if call != nil {
+				// The credit frees when the response arrives, not when
+				// the issuer collects it — a caller pipelining more
+				// requests than credits must not deadlock against
+				// itself.
+				c.credits.Release(1)
+				call.fut.Set(callResult{status: hdr.Status, body: body})
+			}
+		}
+	}
+}
+
+// fail marks the session broken and fails every pending call.
+func (c *Client) fail(err error) {
+	if c.failErr == nil {
+		c.failErr = fmt.Errorf("%w: %v", ErrSession, err)
+	}
+	c.closed = true
+	for xid, call := range c.pending {
+		delete(c.pending, xid)
+		c.credits.Release(1)
+		call.fut.Set(callResult{err: c.failErr})
+	}
+}
+
+// start issues a request asynchronously. enc encodes the body.
+func (c *Client) start(p *sim.Proc, proc Proc, enc func(w *wr)) (*Call, error) {
+	if c.closed {
+		if c.failErr != nil {
+			return nil, c.failErr
+		}
+		return nil, ErrClosed
+	}
+	c.credits.Acquire(p, 1)
+	s, _ := c.reqPool.Recv(p)
+	buf := s.bytes()
+	w := newWr(buf[HeaderLen:])
+	enc(w)
+	if w.Err() != nil {
+		c.reqPool.Send(p, s)
+		c.credits.Release(1)
+		return nil, w.Err()
+	}
+	c.nextXID++
+	xid := c.nextXID
+	n := HeaderLen + w.Len()
+	encodeHeader(buf, Header{Proc: proc, XID: xid, BodyLen: uint32(w.Len())})
+	// Building the request: marshal plus the copy into registered memory
+	// (for inline writes this is the send-side data copy).
+	c.node.Compute(p, c.prof.MarshalCost+c.prof.CopyTime(n))
+	call := &Call{c: c, fut: sim.NewFuture[callResult](c.k)}
+	c.pending[xid] = call
+	err := c.vi.PostSend(p, &via.Descriptor{Op: via.OpSend, Region: s.reg, Offset: s.off, Len: n, Ctx: s})
+	if err != nil {
+		delete(c.pending, xid)
+		c.reqPool.Send(p, s)
+		c.credits.Release(1)
+		return nil, err
+	}
+	c.stats.Ops++
+	return call, nil
+}
+
+// roundtrip issues a request and waits for its response.
+func (c *Client) roundtrip(p *sim.Proc, proc Proc, enc func(w *wr)) (callResult, error) {
+	call, err := c.start(p, proc, enc)
+	if err != nil {
+		return callResult{}, err
+	}
+	return call.wait(p)
+}
+
+// ---- Namespace and attribute operations ----
+
+func (c *Client) lookupLike(p *sim.Proc, proc Proc, name string) (FH, Attr, error) {
+	res, err := c.roundtrip(p, proc, func(w *wr) { w.Str(name) })
+	if err != nil {
+		return 0, Attr{}, err
+	}
+	r := newRd(res.body)
+	fh := FH(r.U64())
+	size := int64(r.U64())
+	return fh, Attr{Size: size}, r.Err()
+}
+
+// Lookup resolves a name to a file handle and attributes.
+func (c *Client) Lookup(p *sim.Proc, name string) (FH, Attr, error) {
+	return c.lookupLike(p, ProcLookup, name)
+}
+
+// Create makes a new file and returns its handle.
+func (c *Client) Create(p *sim.Proc, name string) (FH, Attr, error) {
+	return c.lookupLike(p, ProcCreate, name)
+}
+
+// Remove deletes a file by name.
+func (c *Client) Remove(p *sim.Proc, name string) error {
+	_, err := c.roundtrip(p, ProcRemove, func(w *wr) { w.Str(name) })
+	return err
+}
+
+// Rename moves a file.
+func (c *Client) Rename(p *sim.Proc, from, to string) error {
+	_, err := c.roundtrip(p, ProcRename, func(w *wr) { w.Str(from); w.Str(to) })
+	return err
+}
+
+// Getattr fetches attributes.
+func (c *Client) Getattr(p *sim.Proc, fh FH) (Attr, error) {
+	res, err := c.roundtrip(p, ProcGetattr, func(w *wr) { w.U64(uint64(fh)) })
+	if err != nil {
+		return Attr{}, err
+	}
+	r := newRd(res.body)
+	a := Attr{Size: int64(r.U64())}
+	return a, r.Err()
+}
+
+// Setattr truncates (or extends) the file to size.
+func (c *Client) Setattr(p *sim.Proc, fh FH, size int64) error {
+	_, err := c.roundtrip(p, ProcSetattr, func(w *wr) { w.U64(uint64(fh)); w.U64(uint64(size)) })
+	return err
+}
+
+// Fsync commits the file's data (a no-op timing-wise on the cached store,
+// a disk access on an uncached one).
+func (c *Client) Fsync(p *sim.Proc, fh FH) error {
+	_, err := c.roundtrip(p, ProcFsync, func(w *wr) { w.U64(uint64(fh)) })
+	return err
+}
+
+// Readdir lists up to max names starting at cookie; it returns the names
+// and the next cookie (0 when the listing is exhausted).
+func (c *Client) Readdir(p *sim.Proc, cookie uint32, max int) ([]string, uint32, error) {
+	if max <= 0 || max > 0xFFFF {
+		return nil, 0, ErrInval
+	}
+	res, err := c.roundtrip(p, ProcReaddir, func(w *wr) {
+		w.U32(cookie)
+		w.U16(uint16(max))
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	r := newRd(res.body)
+	n := int(r.U16())
+	names := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		names = append(names, r.Str())
+	}
+	next := r.U32()
+	return names, next, r.Err()
+}
+
+// ---- Inline data operations ----
+
+// Read performs an inline read into buf; data travels in the response
+// message and is copied out by the client CPU. len(buf) must not exceed
+// MaxInline. Returns the byte count (short at EOF).
+func (c *Client) Read(p *sim.Proc, fh FH, off int64, buf []byte) (int, error) {
+	call, err := c.StartRead(p, fh, off, buf)
+	if err != nil {
+		return 0, err
+	}
+	return call.Wait(p)
+}
+
+// StartRead issues an inline read without waiting.
+func (c *Client) StartRead(p *sim.Proc, fh FH, off int64, buf []byte) (*IO, error) {
+	if len(buf) > c.maxInline {
+		return nil, ErrTooBig
+	}
+	call, err := c.start(p, ProcRead, func(w *wr) {
+		w.U64(uint64(fh))
+		w.U64(uint64(off))
+		w.U32(uint32(len(buf)))
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &IO{call: call, readBuf: buf, kind: ProcRead}, nil
+}
+
+// Write performs an inline write; data travels in the request message.
+// len(data) must not exceed MaxInline.
+func (c *Client) Write(p *sim.Proc, fh FH, off int64, data []byte) (int, error) {
+	call, err := c.StartWrite(p, fh, off, data)
+	if err != nil {
+		return 0, err
+	}
+	return call.Wait(p)
+}
+
+// StartWrite issues an inline write without waiting.
+func (c *Client) StartWrite(p *sim.Proc, fh FH, off int64, data []byte) (*IO, error) {
+	if len(data) > c.maxInline {
+		return nil, ErrTooBig
+	}
+	call, err := c.start(p, ProcWrite, func(w *wr) {
+		w.U64(uint64(fh))
+		w.U64(uint64(off))
+		w.Blob(data)
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.stats.InlineWriteBytes += int64(len(data))
+	return &IO{call: call, kind: ProcWrite}, nil
+}
+
+// Append atomically appends data at the server-chosen end of file and
+// returns the offset at which it landed.
+func (c *Client) Append(p *sim.Proc, fh FH, data []byte) (int64, error) {
+	if len(data) > c.maxInline {
+		return 0, ErrTooBig
+	}
+	res, err := c.roundtrip(p, ProcAppend, func(w *wr) {
+		w.U64(uint64(fh))
+		w.Blob(data)
+	})
+	if err != nil {
+		return 0, err
+	}
+	c.stats.InlineWriteBytes += int64(len(data))
+	r := newRd(res.body)
+	off := int64(r.U64())
+	return off, r.Err()
+}
+
+// ---- Direct (RDMA) data operations ----
+
+// ReadDirect reads n bytes at off into registered client memory
+// (reg[regOff:regOff+n]); the server RDMA-writes the data, so the client
+// CPU never touches it. Returns the byte count (short at EOF).
+func (c *Client) ReadDirect(p *sim.Proc, fh FH, off int64, reg *via.Region, regOff, n int) (int, error) {
+	call, err := c.StartReadDirect(p, fh, off, reg, regOff, n)
+	if err != nil {
+		return 0, err
+	}
+	return call.Wait(p)
+}
+
+// StartReadDirect issues a direct read without waiting.
+func (c *Client) StartReadDirect(p *sim.Proc, fh FH, off int64, reg *via.Region, regOff, n int) (*IO, error) {
+	if regOff < 0 || n < 0 || regOff+n > reg.Len() {
+		return nil, ErrInval
+	}
+	call, err := c.start(p, ProcReadDirect, func(w *wr) {
+		w.U64(uint64(fh))
+		w.U64(uint64(off))
+		w.U32(uint32(n))
+		w.U32(uint32(reg.Handle))
+		w.U32(uint32(regOff))
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &IO{call: call, kind: ProcReadDirect}, nil
+}
+
+// WriteDirect writes n bytes from registered client memory at off; the
+// server RDMA-reads the data out of the client.
+func (c *Client) WriteDirect(p *sim.Proc, fh FH, off int64, reg *via.Region, regOff, n int) (int, error) {
+	call, err := c.StartWriteDirect(p, fh, off, reg, regOff, n)
+	if err != nil {
+		return 0, err
+	}
+	return call.Wait(p)
+}
+
+// StartWriteDirect issues a direct write without waiting.
+func (c *Client) StartWriteDirect(p *sim.Proc, fh FH, off int64, reg *via.Region, regOff, n int) (*IO, error) {
+	if regOff < 0 || n < 0 || regOff+n > reg.Len() {
+		return nil, ErrInval
+	}
+	call, err := c.start(p, ProcWriteDirect, func(w *wr) {
+		w.U64(uint64(fh))
+		w.U64(uint64(off))
+		w.U32(uint32(n))
+		w.U32(uint32(reg.Handle))
+		w.U32(uint32(regOff))
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &IO{call: call, kind: ProcWriteDirect}, nil
+}
+
+// SegSpec names one file segment of a batch operation.
+type SegSpec struct {
+	Off int64
+	Len int
+}
+
+// batchCheck validates a segment list against the registered buffer: the
+// segments occupy consecutive slots of reg starting at regOff.
+func batchCheck(segs []SegSpec, reg *via.Region, regOff int) (int, error) {
+	if len(segs) == 0 || len(segs) > MaxBatchSegs {
+		return 0, ErrInval
+	}
+	total := 0
+	for _, s := range segs {
+		if s.Off < 0 || s.Len < 0 {
+			return 0, ErrInval
+		}
+		total += s.Len
+	}
+	if regOff < 0 || regOff+total > reg.Len() {
+		return 0, ErrInval
+	}
+	return total, nil
+}
+
+func encodeBatch(w *wr, fh FH, segs []SegSpec, reg *via.Region, regOff int) {
+	w.U64(uint64(fh))
+	w.U32(uint32(reg.Handle))
+	w.U32(uint32(regOff))
+	w.U16(uint16(len(segs)))
+	for _, s := range segs {
+		w.U64(uint64(s.Off))
+		w.U32(uint32(s.Len))
+	}
+}
+
+// StartReadBatch issues one scatter-read request: the server gathers every
+// (off, len) segment of the file and delivers all of them with a single
+// RDMA write into reg[regOff:...], where segment i lands after segments
+// 0..i-1 (fixed slots; EOF holes read as zero). This is DAFS's batch I/O —
+// the protocol-level answer to noncontiguous access.
+func (c *Client) StartReadBatch(p *sim.Proc, fh FH, segs []SegSpec, reg *via.Region, regOff int) (*IO, error) {
+	if _, err := batchCheck(segs, reg, regOff); err != nil {
+		return nil, err
+	}
+	call, err := c.start(p, ProcReadBatch, func(w *wr) { encodeBatch(w, fh, segs, reg, regOff) })
+	if err != nil {
+		return nil, err
+	}
+	return &IO{call: call, kind: ProcReadBatch}, nil
+}
+
+// ReadBatch is the blocking form of StartReadBatch. It returns the total
+// bytes that existed (segments past EOF contribute short counts).
+func (c *Client) ReadBatch(p *sim.Proc, fh FH, segs []SegSpec, reg *via.Region, regOff int) (int, error) {
+	io, err := c.StartReadBatch(p, fh, segs, reg, regOff)
+	if err != nil {
+		return 0, err
+	}
+	return io.Wait(p)
+}
+
+// StartWriteBatch issues one gather-write: the server RDMA-reads the
+// packed segment data from reg[regOff:...] in a single transfer and places
+// each segment at its file offset.
+func (c *Client) StartWriteBatch(p *sim.Proc, fh FH, segs []SegSpec, reg *via.Region, regOff int) (*IO, error) {
+	if _, err := batchCheck(segs, reg, regOff); err != nil {
+		return nil, err
+	}
+	call, err := c.start(p, ProcWriteBatch, func(w *wr) { encodeBatch(w, fh, segs, reg, regOff) })
+	if err != nil {
+		return nil, err
+	}
+	return &IO{call: call, kind: ProcWriteBatch}, nil
+}
+
+// WriteBatch is the blocking form of StartWriteBatch.
+func (c *Client) WriteBatch(p *sim.Proc, fh FH, segs []SegSpec, reg *via.Region, regOff int) (int, error) {
+	io, err := c.StartWriteBatch(p, fh, segs, reg, regOff)
+	if err != nil {
+		return 0, err
+	}
+	return io.Wait(p)
+}
+
+// Close disconnects the session.
+func (c *Client) Close(p *sim.Proc) error {
+	if c.closed {
+		return nil
+	}
+	_, err := c.roundtrip(p, ProcDisconnect, func(w *wr) {})
+	c.closed = true
+	return err
+}
+
+// IO is an in-flight data operation started by one of the Start methods.
+type IO struct {
+	call    *Call
+	readBuf []byte
+	kind    Proc
+}
+
+// Wait blocks until the operation completes and returns the transferred
+// byte count.
+func (io *IO) Wait(p *sim.Proc) (int, error) {
+	res, err := io.call.wait(p)
+	if err != nil {
+		return 0, err
+	}
+	c := io.call.c
+	r := newRd(res.body)
+	switch io.kind {
+	case ProcRead:
+		data := r.Blob()
+		if r.Err() != nil {
+			return 0, r.Err()
+		}
+		n := copy(io.readBuf, data)
+		c.stats.InlineReadBytes += int64(n)
+		return n, nil
+	case ProcWrite:
+		n := int(r.U32())
+		return n, r.Err()
+	case ProcReadDirect:
+		n := int(r.U32())
+		c.stats.DirectReadBytes += int64(n)
+		return n, r.Err()
+	case ProcWriteDirect:
+		n := int(r.U32())
+		c.stats.DirectWriteBytes += int64(n)
+		return n, r.Err()
+	case ProcReadBatch:
+		n := int(r.U32())
+		c.stats.DirectReadBytes += int64(n)
+		return n, r.Err()
+	case ProcWriteBatch:
+		n := int(r.U32())
+		c.stats.DirectWriteBytes += int64(n)
+		return n, r.Err()
+	default:
+		return 0, ErrProto
+	}
+}

@@ -1,0 +1,621 @@
+package dafs
+
+import (
+	"fmt"
+
+	"dafsio/internal/fabric"
+	"dafsio/internal/model"
+	"dafsio/internal/sim"
+	"dafsio/internal/storage"
+	"dafsio/internal/via"
+)
+
+// ServerOptions configures a DAFS server.
+type ServerOptions struct {
+	// Workers is the number of concurrent request-service contexts
+	// (default 4). Direct operations block their worker for the duration
+	// of the server-driven RDMA, so workers bound RDMA concurrency.
+	Workers int
+	// Disk, when non-nil, makes data operations touch the backing disk
+	// (uncached server). The default models the fully cached server the
+	// paper-era evaluations used.
+	Disk *storage.Disk
+}
+
+// ServerStats counts server activity.
+type ServerStats struct {
+	Sessions         int64
+	Requests         int64
+	InlineReads      int64
+	InlineWrites     int64
+	DirectReads      int64
+	DirectWrites     int64
+	InlineReadBytes  int64
+	InlineWriteBytes int64
+	DirectReadBytes  int64
+	DirectWriteBytes int64
+}
+
+// Server is a DAFS file server on one node.
+type Server struct {
+	node  *fabric.Node
+	nic   *via.NIC
+	prof  *model.Profile
+	k     *sim.Kernel
+	store *storage.Store
+	disk  *storage.Disk
+
+	cq       *via.CQ
+	workQ    *sim.Chan[*srvReq]
+	sessions []*session
+
+	stats ServerStats
+}
+
+// session is the server-side state of one client connection.
+type session struct {
+	id        int
+	srv       *Server
+	vi        *via.VI
+	respPool  *sim.Chan[*slot]
+	maxInline int
+	slotSize  int
+	closed    bool
+}
+
+type srvReq struct {
+	sess   *session
+	s      *slot
+	length int
+}
+
+// Completion-routing context types (see dispatch).
+type recvCtx struct {
+	sess *session
+	s    *slot
+}
+
+type respCtx struct {
+	sess *session
+	s    *slot
+}
+
+// NewServer creates a DAFS server on the NIC's node and starts its
+// dispatcher and worker processes.
+func NewServer(nic *via.NIC, store *storage.Store, opts *ServerOptions) *Server {
+	workers := 4
+	var disk *storage.Disk
+	if opts != nil {
+		if opts.Workers > 0 {
+			workers = opts.Workers
+		}
+		disk = opts.Disk
+	}
+	prov := nic.Provider()
+	s := &Server{
+		node:  nic.Node,
+		nic:   nic,
+		prof:  prov.Prof,
+		k:     prov.K,
+		store: store,
+		disk:  disk,
+		workQ: sim.NewChan[*srvReq](prov.K, 0),
+	}
+	s.cq = nic.NewCQ(nic.Node.Name + ".dafs.cq")
+	s.k.SpawnDaemon(nic.Node.Name+".dafs.dispatch", s.dispatch)
+	for i := 0; i < workers; i++ {
+		s.k.SpawnDaemon(fmt.Sprintf("%s.dafs.worker%d", nic.Node.Name, i), s.worker)
+	}
+	return s
+}
+
+// Store returns the server's file store.
+func (s *Server) Store() *storage.Store { return s.store }
+
+// Node returns the server's host.
+func (s *Server) Node() *fabric.Node { return s.node }
+
+// NIC returns the server's VIA NIC.
+func (s *Server) NIC() *via.NIC { return s.nic }
+
+// Stats returns a copy of the server counters.
+func (s *Server) Stats() ServerStats { return s.stats }
+
+// accept performs the server side of session establishment: it creates and
+// connects the VI, registers the session's message buffers, and pre-posts
+// one receive per credit. It runs in the dialing process but charges the
+// server's CPU.
+func (s *Server) accept(p *sim.Proc, clientVI *via.VI, o Options, slotSize int) error {
+	s.node.Compute(p, s.prof.DAFSOpCost) // session setup
+	vi := s.nic.NewVI(s.cq, s.cq)
+	via.Connect(clientVI, vi)
+	sess := &session{
+		id:        len(s.sessions),
+		srv:       s,
+		vi:        vi,
+		respPool:  sim.NewChan[*slot](s.k, 0),
+		maxInline: o.MaxInline,
+		slotSize:  slotSize,
+	}
+	reqReg := s.nic.Register(p, make([]byte, o.Credits*slotSize))
+	respReg := s.nic.Register(p, make([]byte, o.Credits*slotSize))
+	for i := 0; i < o.Credits; i++ {
+		rs := &slot{reg: reqReg, off: i * slotSize, size: slotSize}
+		if err := vi.PostRecv(p, &via.Descriptor{Region: reqReg, Offset: rs.off, Len: rs.size, Ctx: &recvCtx{sess: sess, s: rs}}); err != nil {
+			return err
+		}
+		sess.respPool.TrySend(&slot{reg: respReg, off: i * slotSize, size: slotSize})
+	}
+	s.sessions = append(s.sessions, sess)
+	s.stats.Sessions++
+	return nil
+}
+
+// dispatch routes completions: incoming requests to the work queue,
+// response-send completions back to buffer pools, and RDMA completions to
+// the worker awaiting them.
+func (s *Server) dispatch(p *sim.Proc) {
+	for {
+		comp := s.cq.Wait(p)
+		switch ctx := comp.Desc.Ctx.(type) {
+		case *recvCtx:
+			if comp.Err != nil {
+				ctx.sess.closed = true
+				continue
+			}
+			s.workQ.Send(p, &srvReq{sess: ctx.sess, s: ctx.s, length: comp.Len})
+		case *respCtx:
+			ctx.sess.respPool.Send(p, ctx.s)
+		case *sim.Future[via.Completion]:
+			ctx.Set(comp)
+		}
+	}
+}
+
+// worker services requests from the shared work queue.
+func (s *Server) worker(p *sim.Proc) {
+	for {
+		req, ok := s.workQ.Recv(p)
+		if !ok {
+			return
+		}
+		s.handle(p, req)
+	}
+}
+
+func (s *Server) handle(p *sim.Proc, req *srvReq) {
+	sess := req.sess
+	msg := req.s.bytes()[:req.length]
+	hdr, err := decodeHeader(msg)
+	s.node.Compute(p, s.prof.MarshalCost)
+	if err != nil {
+		sess.closed = true
+		return
+	}
+	body := msg[HeaderLen : HeaderLen+int(hdr.BodyLen)]
+	s.node.Compute(p, s.prof.DAFSOpCost)
+	st, enc := s.exec(p, sess, hdr.Proc, newRd(body))
+
+	rs, _ := sess.respPool.Recv(p)
+	out := rs.bytes()
+	w := newWr(out[HeaderLen:])
+	if enc != nil {
+		enc(w)
+	}
+	if w.Err() != nil {
+		st, w = StatusProto, newWr(out[HeaderLen:])
+	}
+	encodeHeader(out, Header{Proc: hdr.Proc, XID: hdr.XID, Status: st, BodyLen: uint32(w.Len())})
+	s.node.Compute(p, s.prof.MarshalCost)
+
+	// Re-post the request buffer before replying so the credit the client
+	// recovers on this response always finds a posted receive.
+	if err := sess.vi.PostRecv(p, &via.Descriptor{Region: req.s.reg, Offset: req.s.off, Len: req.s.size, Ctx: &recvCtx{sess: sess, s: req.s}}); err != nil {
+		sess.closed = true
+		return
+	}
+	if err := sess.vi.PostSend(p, &via.Descriptor{Op: via.OpSend, Region: rs.reg, Offset: rs.off, Len: HeaderLen + w.Len(), Ctx: &respCtx{sess: sess, s: rs}}); err != nil {
+		sess.closed = true
+		return
+	}
+	s.stats.Requests++
+}
+
+// storageStatus maps storage errors to wire statuses.
+func storageStatus(err error) Status {
+	switch err {
+	case nil:
+		return StatusOK
+	case storage.ErrNotFound:
+		return StatusNoEnt
+	case storage.ErrExists:
+		return StatusExist
+	case storage.ErrBadHandle:
+		return StatusStale
+	default:
+		return StatusIO
+	}
+}
+
+// exec runs one operation and returns the response status and body encoder.
+func (s *Server) exec(p *sim.Proc, sess *session, proc Proc, r *rd) (Status, func(*wr)) {
+	switch proc {
+	case ProcConnect:
+		credits := r.U16()
+		inline := r.U32()
+		if r.Err() != nil {
+			return StatusProto, nil
+		}
+		return StatusOK, func(w *wr) { w.U16(credits); w.U32(inline) }
+
+	case ProcDisconnect:
+		sess.closed = true
+		return StatusOK, nil
+
+	case ProcLookup:
+		name := r.Str()
+		if r.Err() != nil {
+			return StatusProto, nil
+		}
+		f, err := s.store.Lookup(name)
+		if err != nil {
+			return storageStatus(err), nil
+		}
+		return StatusOK, func(w *wr) { w.U64(uint64(f.ID())); w.U64(uint64(f.Size())) }
+
+	case ProcCreate:
+		name := r.Str()
+		if r.Err() != nil {
+			return StatusProto, nil
+		}
+		f, err := s.store.Create(name)
+		if err != nil {
+			return storageStatus(err), nil
+		}
+		return StatusOK, func(w *wr) { w.U64(uint64(f.ID())); w.U64(uint64(f.Size())) }
+
+	case ProcRemove:
+		name := r.Str()
+		if r.Err() != nil {
+			return StatusProto, nil
+		}
+		return storageStatus(s.store.Remove(name)), nil
+
+	case ProcRename:
+		from, to := r.Str(), r.Str()
+		if r.Err() != nil {
+			return StatusProto, nil
+		}
+		return storageStatus(s.store.Rename(from, to)), nil
+
+	case ProcGetattr:
+		f, st := s.file(r)
+		if st != StatusOK {
+			return st, nil
+		}
+		return StatusOK, func(w *wr) { w.U64(uint64(f.Size())) }
+
+	case ProcSetattr:
+		f, st := s.file(r)
+		size := int64(r.U64())
+		if st != StatusOK || r.Err() != nil {
+			return firstBad(st, r), nil
+		}
+		f.Truncate(size)
+		return StatusOK, nil
+
+	case ProcRead:
+		f, st := s.file(r)
+		off := int64(r.U64())
+		count := int(r.U32())
+		if st != StatusOK || r.Err() != nil {
+			return firstBad(st, r), nil
+		}
+		if count < 0 || count > sess.maxInline {
+			return StatusTooBig, nil
+		}
+		n := clampCount(f.Size(), off, count)
+		s.touchDisk(p, off, n)
+		// Server CPU copies out of the buffer cache into the response
+		// message: the inline path's server-side copy.
+		s.node.Compute(p, sim.TransferTime(int64(n), s.prof.ServerMemBW))
+		s.stats.InlineReads++
+		s.stats.InlineReadBytes += int64(n)
+		return StatusOK, func(w *wr) {
+			w.U32(uint32(n))
+			if b := w.Need(n); b != nil {
+				f.ReadAt(b, off)
+			}
+		}
+
+	case ProcWrite:
+		f, st := s.file(r)
+		off := int64(r.U64())
+		data := r.Blob()
+		if st != StatusOK || r.Err() != nil {
+			return firstBad(st, r), nil
+		}
+		if len(data) > sess.maxInline {
+			return StatusTooBig, nil
+		}
+		s.touchDisk(p, off, len(data))
+		s.node.Compute(p, sim.TransferTime(int64(len(data)), s.prof.ServerMemBW))
+		n := f.WriteAt(data, off)
+		s.stats.InlineWrites++
+		s.stats.InlineWriteBytes += int64(n)
+		return StatusOK, func(w *wr) { w.U32(uint32(n)) }
+
+	case ProcAppend:
+		f, st := s.file(r)
+		data := r.Blob()
+		if st != StatusOK || r.Err() != nil {
+			return firstBad(st, r), nil
+		}
+		if len(data) > sess.maxInline {
+			return StatusTooBig, nil
+		}
+		s.touchDisk(p, f.Size(), len(data))
+		s.node.Compute(p, sim.TransferTime(int64(len(data)), s.prof.ServerMemBW))
+		// Size read and write are adjacent with no intervening yield, so
+		// concurrent appends never interleave destructively.
+		off := f.Size()
+		f.WriteAt(data, off)
+		s.stats.InlineWrites++
+		s.stats.InlineWriteBytes += int64(len(data))
+		return StatusOK, func(w *wr) { w.U64(uint64(off)) }
+
+	case ProcReadDirect:
+		f, st := s.file(r)
+		off := int64(r.U64())
+		count := int(r.U32())
+		rhandle := via.MemHandle(r.U32())
+		roff := int(r.U32())
+		if st != StatusOK || r.Err() != nil {
+			return firstBad(st, r), nil
+		}
+		if count < 0 {
+			return StatusInval, nil
+		}
+		n := clampCount(f.Size(), off, count)
+		s.touchDisk(p, off, n)
+		if n > 0 {
+			// Zero server CPU data path: the NIC DMAs straight out of
+			// the (pre-registered) buffer cache into client memory.
+			reg := s.nic.RegisterCached(f.Slice(off, n))
+			fut := sim.NewFuture[via.Completion](s.k)
+			err := sess.vi.PostSend(p, &via.Descriptor{
+				Op: via.OpRDMAWrite, Region: reg, Len: n,
+				RemoteHandle: rhandle, RemoteOffset: roff, Ctx: fut,
+			})
+			if err != nil {
+				s.nic.DropCached(reg)
+				return StatusIO, nil
+			}
+			comp := fut.Get(p)
+			s.nic.DropCached(reg)
+			if comp.Err != nil {
+				return StatusAccess, nil
+			}
+		}
+		s.stats.DirectReads++
+		s.stats.DirectReadBytes += int64(n)
+		return StatusOK, func(w *wr) { w.U32(uint32(n)) }
+
+	case ProcWriteDirect:
+		f, st := s.file(r)
+		off := int64(r.U64())
+		count := int(r.U32())
+		rhandle := via.MemHandle(r.U32())
+		roff := int(r.U32())
+		if st != StatusOK || r.Err() != nil {
+			return firstBad(st, r), nil
+		}
+		if count < 0 || off < 0 {
+			return StatusInval, nil
+		}
+		if count > 0 {
+			// The NIC pulls data from client memory directly into
+			// buffer-cache pages. A real cache's pages are stable; our
+			// files are contiguous Go slices that may move when another
+			// request grows the file concurrently, so the RDMA lands in
+			// a stable staging page set which is committed to the file
+			// atomically (zero time charged: it models in-place page
+			// placement, not a CPU copy).
+			staging := make([]byte, count)
+			reg := s.nic.RegisterCached(staging)
+			fut := sim.NewFuture[via.Completion](s.k)
+			err := sess.vi.PostSend(p, &via.Descriptor{
+				Op: via.OpRDMARead, Region: reg, Len: count,
+				RemoteHandle: rhandle, RemoteOffset: roff, Ctx: fut,
+			})
+			if err != nil {
+				s.nic.DropCached(reg)
+				return StatusIO, nil
+			}
+			comp := fut.Get(p)
+			s.nic.DropCached(reg)
+			if comp.Err != nil {
+				return StatusAccess, nil
+			}
+			f.WriteAt(staging, off) // atomic: no yields during placement
+		}
+		s.touchDisk(p, off, count)
+		s.stats.DirectWrites++
+		s.stats.DirectWriteBytes += int64(count)
+		return StatusOK, func(w *wr) { w.U32(uint32(count)) }
+
+	case ProcReadBatch, ProcWriteBatch:
+		f, st := s.file(r)
+		rhandle := via.MemHandle(r.U32())
+		roff := int(r.U32())
+		nsegs := int(r.U16())
+		if st != StatusOK || r.Err() != nil {
+			return firstBad(st, r), nil
+		}
+		if nsegs == 0 || nsegs > MaxBatchSegs {
+			return StatusInval, nil
+		}
+		segs := make([]SegSpec, nsegs)
+		total := 0
+		for i := range segs {
+			segs[i].Off = int64(r.U64())
+			segs[i].Len = int(r.U32())
+			if segs[i].Off < 0 || segs[i].Len < 0 {
+				return StatusInval, nil
+			}
+			total += segs[i].Len
+		}
+		if r.Err() != nil {
+			return StatusProto, nil
+		}
+		for _, sg := range segs {
+			s.touchDisk(p, sg.Off, sg.Len)
+		}
+		if proc == ProcReadBatch {
+			return s.execReadBatch(p, sess, f, segs, total, rhandle, roff)
+		}
+		return s.execWriteBatch(p, sess, f, segs, total, rhandle, roff)
+
+	case ProcReaddir:
+		cookie := int(r.U32())
+		maxN := int(r.U16())
+		if r.Err() != nil {
+			return StatusProto, nil
+		}
+		names := s.store.List()
+		if cookie > len(names) {
+			cookie = len(names)
+		}
+		end := min(cookie+maxN, len(names))
+		page := names[cookie:end]
+		var next uint32
+		if end < len(names) {
+			next = uint32(end)
+		}
+		return StatusOK, func(w *wr) {
+			w.U16(uint16(len(page)))
+			for _, n := range page {
+				w.Str(n)
+			}
+			w.U32(next)
+		}
+
+	case ProcFsync:
+		_, st := s.file(r)
+		if st != StatusOK {
+			return st, nil
+		}
+		if s.disk != nil {
+			s.disk.Access(p, 0)
+		}
+		return StatusOK, nil
+
+	default:
+		return StatusProto, nil
+	}
+}
+
+// execReadBatch gathers the requested segments from the buffer cache into
+// staging pages (per-segment DMA in a real filer: zero CPU charge) and
+// delivers everything with one RDMA write into the client's slots.
+func (s *Server) execReadBatch(p *sim.Proc, sess *session, f *storage.File, segs []SegSpec, total int, rhandle via.MemHandle, roff int) (Status, func(*wr)) {
+	staging := make([]byte, total)
+	got := 0
+	pos := 0
+	for _, sg := range segs {
+		got += f.ReadAt(staging[pos:pos+sg.Len], sg.Off)
+		pos += sg.Len
+	}
+	if total > 0 {
+		reg := s.nic.RegisterCached(staging)
+		fut := sim.NewFuture[via.Completion](s.k)
+		err := sess.vi.PostSend(p, &via.Descriptor{
+			Op: via.OpRDMAWrite, Region: reg, Len: total,
+			RemoteHandle: rhandle, RemoteOffset: roff, Ctx: fut,
+		})
+		if err != nil {
+			s.nic.DropCached(reg)
+			return StatusIO, nil
+		}
+		comp := fut.Get(p)
+		s.nic.DropCached(reg)
+		if comp.Err != nil {
+			return StatusAccess, nil
+		}
+	}
+	s.stats.DirectReads++
+	s.stats.DirectReadBytes += int64(got)
+	return StatusOK, func(w *wr) { w.U32(uint32(got)) }
+}
+
+// execWriteBatch pulls the packed segment data with one RDMA read and
+// places each segment at its file offset (page placement: zero CPU
+// charge, as in WriteDirect).
+func (s *Server) execWriteBatch(p *sim.Proc, sess *session, f *storage.File, segs []SegSpec, total int, rhandle via.MemHandle, roff int) (Status, func(*wr)) {
+	staging := make([]byte, total)
+	if total > 0 {
+		reg := s.nic.RegisterCached(staging)
+		fut := sim.NewFuture[via.Completion](s.k)
+		err := sess.vi.PostSend(p, &via.Descriptor{
+			Op: via.OpRDMARead, Region: reg, Len: total,
+			RemoteHandle: rhandle, RemoteOffset: roff, Ctx: fut,
+		})
+		if err != nil {
+			s.nic.DropCached(reg)
+			return StatusIO, nil
+		}
+		comp := fut.Get(p)
+		s.nic.DropCached(reg)
+		if comp.Err != nil {
+			return StatusAccess, nil
+		}
+	}
+	pos := 0
+	for _, sg := range segs {
+		f.WriteAt(staging[pos:pos+sg.Len], sg.Off) // atomic placement, no yields
+		pos += sg.Len
+	}
+	s.stats.DirectWrites++
+	s.stats.DirectWriteBytes += int64(total)
+	return StatusOK, func(w *wr) { w.U32(uint32(total)) }
+}
+
+// file decodes a file handle and resolves it.
+func (s *Server) file(r *rd) (*storage.File, Status) {
+	fh := storage.FileID(r.U64())
+	if r.Err() != nil {
+		return nil, StatusProto
+	}
+	f, err := s.store.Get(fh)
+	if err != nil {
+		return nil, StatusStale
+	}
+	return f, StatusOK
+}
+
+// firstBad picks the decode error over a handle error.
+func firstBad(st Status, r *rd) Status {
+	if r.Err() != nil {
+		return StatusProto
+	}
+	return st
+}
+
+// clampCount limits a read to the bytes that exist.
+func clampCount(size, off int64, count int) int {
+	if off < 0 || off >= size {
+		return 0
+	}
+	if rem := size - off; int64(count) > rem {
+		return int(rem)
+	}
+	return count
+}
+
+// touchDisk charges a disk access on uncached servers; sequential
+// accesses skip the positioning time.
+func (s *Server) touchDisk(p *sim.Proc, off int64, n int) {
+	if s.disk != nil && n > 0 {
+		s.disk.AccessAt(p, off, n)
+	}
+}

@@ -1,0 +1,18 @@
+package dafs
+
+import "dafsio/internal/wire"
+
+// The DAFS codec is the shared wire codec; these aliases keep protocol code
+// terse.
+type (
+	wr = wire.Writer
+	rd = wire.Reader
+)
+
+var (
+	newWr = wire.NewWriter
+	newRd = wire.NewReader
+)
+
+// ErrWire reports a malformed message.
+var ErrWire = wire.ErrWire

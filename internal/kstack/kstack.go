@@ -1,0 +1,231 @@
+// Package kstack simulates the traditional kernel datagram path the NFS
+// baseline rides on: sockets, syscalls, user/kernel copies, MTU
+// fragmentation, per-packet protocol processing, and receive interrupts —
+// everything VIA's OS-bypass design eliminates.
+//
+// The stack uses the same fabric links as VIA, so DAFS-vs-NFS comparisons
+// share identical wire characteristics and differ only in software path,
+// exactly the comparison the paper makes. Datagram delivery is reliable and
+// in order (the SAN does not drop frames), so no retransmission machinery
+// is modeled; real-era NFS/UDP on a healthy LAN behaved the same way.
+package kstack
+
+import (
+	"fmt"
+
+	"dafsio/internal/fabric"
+	"dafsio/internal/model"
+	"dafsio/internal/sim"
+)
+
+// MaxDatagram is the largest datagram the stack accepts (UDP-like limit).
+const MaxDatagram = 63 * 1024
+
+// pktHeader is the per-packet wire overhead (Ethernet+IP+UDP+fragment
+// header, rounded).
+const pktHeader = 42
+
+// Datagram is a received message.
+type Datagram struct {
+	Src     fabric.NodeID
+	SrcPort uint16
+	Data    []byte
+}
+
+// packet is one MTU-sized fragment on the fabric.
+type packet struct {
+	srcPort, dstPort uint16
+	msgID            uint64
+	off, total       int
+	data             []byte
+}
+
+// Stack is one host's kernel network stack.
+type Stack struct {
+	Node *fabric.Node
+
+	iface *fabric.Iface
+	prof  *model.Profile
+	k     *sim.Kernel
+
+	sockets  map[uint16]*Socket
+	nextPort uint16
+	txQ      *sim.Chan[outPkt]
+	msgSeq   uint64
+	reasm    map[reasmKey]*reasmBuf
+
+	// Stats.
+	PktsOut, PktsIn int64
+}
+
+type outPkt struct {
+	dst fabric.NodeID
+	pkt packet
+}
+
+type reasmKey struct {
+	src   fabric.NodeID
+	msgID uint64
+}
+
+type reasmBuf struct {
+	data    []byte
+	got     int
+	srcPort uint16
+	dstPort uint16
+}
+
+// New attaches a kernel stack to the node (claiming the packet share of its
+// interface) and starts the transmit and receive drivers.
+func New(node *fabric.Node, prof *model.Profile, k *sim.Kernel) *Stack {
+	iface := node.Claim("kstack", func(payload any) bool {
+		_, ok := payload.(packet)
+		return ok
+	})
+	s := &Stack{
+		Node:     node,
+		iface:    iface,
+		prof:     prof,
+		k:        k,
+		sockets:  make(map[uint16]*Socket),
+		nextPort: 49152,
+		txQ:      sim.NewChan[outPkt](k, 64), // device queue w/ backpressure
+		reasm:    make(map[reasmKey]*reasmBuf),
+	}
+	k.SpawnDaemon(node.Name+".kstack.tx", s.txDriver)
+	k.SpawnDaemon(node.Name+".kstack.rx", s.rxDriver)
+	return s
+}
+
+// Socket binds a datagram socket. port 0 picks an ephemeral port.
+func (s *Stack) Socket(port uint16) (*Socket, error) {
+	if port == 0 {
+		for s.sockets[s.nextPort] != nil {
+			s.nextPort++
+		}
+		port = s.nextPort
+		s.nextPort++
+	}
+	if s.sockets[port] != nil {
+		return nil, fmt.Errorf("kstack: port %d in use", port)
+	}
+	sock := &Socket{stack: s, port: port, inQ: sim.NewChan[Datagram](s.k, 0)}
+	s.sockets[port] = sock
+	return sock, nil
+}
+
+// Socket is a bound datagram endpoint.
+type Socket struct {
+	stack  *Stack
+	port   uint16
+	inQ    *sim.Chan[Datagram]
+	closed bool
+}
+
+// Port returns the bound port.
+func (sock *Socket) Port() uint16 { return sock.port }
+
+// Close unbinds the socket; queued datagrams are dropped.
+func (sock *Socket) Close() {
+	if sock.closed {
+		return
+	}
+	sock.closed = true
+	delete(sock.stack.sockets, sock.port)
+	sock.inQ.Close()
+}
+
+// SendTo transmits data as one datagram. The calling process pays the full
+// kernel transmit path: syscall, user-to-kernel copy, and per-packet
+// protocol processing; the device driver then serializes the fragments onto
+// the link asynchronously.
+func (sock *Socket) SendTo(p *sim.Proc, dst fabric.NodeID, dstPort uint16, data []byte) error {
+	if sock.closed {
+		return fmt.Errorf("kstack: socket closed")
+	}
+	if len(data) > MaxDatagram {
+		return fmt.Errorf("kstack: datagram too large (%d)", len(data))
+	}
+	s := sock.stack
+	s.Node.Compute(p, s.prof.SyscallCost)
+	s.Node.CopyMem(p, len(data)) // user -> kernel socket buffer
+	s.msgSeq++
+	msgID := s.msgSeq
+	payload := s.prof.EthMTU - (pktHeader - 14) // IP payload space
+	if payload <= 0 {
+		payload = 512
+	}
+	sent := 0
+	for {
+		nb := min(payload, len(data)-sent)
+		s.Node.Compute(p, s.prof.PktCost) // IP/UDP+driver per packet
+		chunk := make([]byte, nb)
+		copy(chunk, data[sent:sent+nb])
+		s.txQ.Send(p, outPkt{dst: dst, pkt: packet{
+			srcPort: sock.port, dstPort: dstPort,
+			msgID: msgID, off: sent, total: len(data), data: chunk,
+		}})
+		s.PktsOut++
+		sent += nb
+		if sent >= len(data) {
+			return nil
+		}
+	}
+}
+
+// Recv blocks for the next datagram and pays the receive syscall plus the
+// kernel-to-user copy. ok is false once the socket is closed.
+func (sock *Socket) Recv(p *sim.Proc) (Datagram, bool) {
+	s := sock.stack
+	s.Node.Compute(p, s.prof.SyscallCost)
+	dg, ok := sock.inQ.Recv(p)
+	if !ok {
+		return Datagram{}, false
+	}
+	s.Node.Compute(p, s.prof.WakeupLatency)
+	s.Node.CopyMem(p, len(dg.Data)) // kernel -> user
+	return dg, true
+}
+
+// txDriver moves queued fragments onto the wire.
+func (s *Stack) txDriver(p *sim.Proc) {
+	for {
+		o, ok := s.txQ.Recv(p)
+		if !ok {
+			return
+		}
+		s.Node.Send(p, fabric.Frame{Dst: o.dst, Bytes: len(o.pkt.data) + pktHeader, Payload: o.pkt})
+	}
+}
+
+// rxDriver takes interrupts for arriving packets, runs protocol processing,
+// reassembles datagrams, and queues them on the destination socket.
+func (s *Stack) rxDriver(p *sim.Proc) {
+	for {
+		fr, ok := s.iface.Recv(p)
+		if !ok {
+			return
+		}
+		pkt := fr.Payload.(packet)
+		s.PktsIn++
+		// Interrupt + protocol processing, charged to this host's CPU.
+		s.Node.Compute(p, s.prof.InterruptCost+s.prof.PktCost)
+		key := reasmKey{src: fr.Src, msgID: pkt.msgID}
+		rb := s.reasm[key]
+		if rb == nil {
+			rb = &reasmBuf{data: make([]byte, pkt.total), srcPort: pkt.srcPort, dstPort: pkt.dstPort}
+			s.reasm[key] = rb
+		}
+		copy(rb.data[pkt.off:], pkt.data)
+		rb.got += len(pkt.data)
+		if rb.got < pkt.total {
+			continue
+		}
+		delete(s.reasm, key)
+		sock := s.sockets[rb.dstPort]
+		if sock == nil {
+			continue // no listener: drop
+		}
+		sock.inQ.Send(p, Datagram{Src: fr.Src, SrcPort: rb.srcPort, Data: rb.data})
+	}
+}

@@ -1,0 +1,257 @@
+package kstack
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"dafsio/internal/fabric"
+	"dafsio/internal/model"
+	"dafsio/internal/sim"
+)
+
+type duo struct {
+	k      *sim.Kernel
+	prof   *model.Profile
+	fab    *fabric.Fabric
+	sa, sb *Stack
+	na, nb *fabric.Node
+}
+
+func newDuo() *duo {
+	prof := model.CLAN1998()
+	k := sim.NewKernel()
+	fab := fabric.New(k, prof)
+	na, nb := fab.AddNode("a"), fab.AddNode("b")
+	return &duo{k: k, prof: prof, fab: fab,
+		sa: New(na, prof, k), sb: New(nb, prof, k), na: na, nb: nb}
+}
+
+func payload(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i * 13 % 251)
+	}
+	return b
+}
+
+func TestDatagramRoundTrip(t *testing.T) {
+	d := newDuo()
+	want := payload(10000) // multi-packet
+	d.k.Spawn("rx", func(p *sim.Proc) {
+		sock, err := d.sb.Socket(2049)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		dg, ok := sock.Recv(p)
+		if !ok {
+			t.Error("recv failed")
+			return
+		}
+		if !bytes.Equal(dg.Data, want) {
+			t.Error("data mismatch")
+		}
+		if dg.Src != d.na.ID {
+			t.Errorf("src %v", dg.Src)
+		}
+	})
+	d.k.Spawn("tx", func(p *sim.Proc) {
+		sock, _ := d.sa.Socket(0)
+		if err := sock.SendTo(p, d.nb.ID, 2049, want); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := d.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroLengthDatagram(t *testing.T) {
+	d := newDuo()
+	d.k.Spawn("rx", func(p *sim.Proc) {
+		sock, _ := d.sb.Socket(7)
+		dg, ok := sock.Recv(p)
+		if !ok || len(dg.Data) != 0 {
+			t.Errorf("zero dgram: ok=%v len=%d", ok, len(dg.Data))
+		}
+	})
+	d.k.Spawn("tx", func(p *sim.Proc) {
+		sock, _ := d.sa.Socket(0)
+		sock.SendTo(p, d.nb.ID, 7, nil)
+	})
+	if err := d.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOversizedDatagramRejected(t *testing.T) {
+	d := newDuo()
+	d.k.Spawn("tx", func(p *sim.Proc) {
+		sock, _ := d.sa.Socket(0)
+		if err := sock.SendTo(p, d.nb.ID, 7, make([]byte, MaxDatagram+1)); err == nil {
+			t.Error("oversized datagram accepted")
+		}
+	})
+	if err := d.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPortManagement(t *testing.T) {
+	d := newDuo()
+	s1, err := d.sa.Socket(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.sa.Socket(100); err == nil {
+		t.Fatal("duplicate bind accepted")
+	}
+	e1, _ := d.sa.Socket(0)
+	e2, _ := d.sa.Socket(0)
+	if e1.Port() == e2.Port() {
+		t.Fatal("ephemeral ports collide")
+	}
+	s1.Close()
+	if _, err := d.sa.Socket(100); err != nil {
+		t.Fatalf("rebind after close: %v", err)
+	}
+	_ = d.k.Run()
+}
+
+func TestUnknownPortDropped(t *testing.T) {
+	d := newDuo()
+	d.k.Spawn("tx", func(p *sim.Proc) {
+		sock, _ := d.sa.Socket(0)
+		sock.SendTo(p, d.nb.ID, 9999, payload(100))
+	})
+	if err := d.k.Run(); err != nil {
+		t.Fatal(err) // must terminate cleanly, datagram dropped
+	}
+}
+
+// TestKernelPathBurnsCPU is the baseline's defining property: moving a
+// megabyte costs both CPUs a per-byte price (copies, packet processing,
+// interrupts), unlike the VIA path.
+func TestKernelPathBurnsCPU(t *testing.T) {
+	d := newDuo()
+	const n = 32 * 1024
+	d.k.Spawn("rx", func(p *sim.Proc) {
+		sock, _ := d.sb.Socket(2049)
+		for i := 0; i < 8; i++ {
+			sock.Recv(p)
+		}
+	})
+	d.k.Spawn("tx", func(p *sim.Proc) {
+		sock, _ := d.sa.Socket(0)
+		for i := 0; i < 8; i++ {
+			sock.SendTo(p, d.nb.ID, 2049, payload(n))
+		}
+	})
+	if err := d.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	total := int64(8 * n)
+	// Sender: at least the user->kernel copy.
+	minTx := d.prof.CopyTime(int(total))
+	if busy := d.na.CPU.BusyTime(); busy < minTx {
+		t.Fatalf("sender CPU %v, want >= %v", busy, minTx)
+	}
+	// Receiver: copies plus interrupts.
+	pkts := d.sb.PktsIn
+	minRx := d.prof.CopyTime(int(total)) + sim.Time(pkts)*d.prof.InterruptCost
+	if busy := d.nb.CPU.BusyTime(); busy < minRx {
+		t.Fatalf("receiver CPU %v, want >= %v", busy, minRx)
+	}
+	if pkts < total/int64(d.prof.EthMTU) {
+		t.Fatalf("only %d packets for %d bytes", pkts, total)
+	}
+}
+
+func TestManyDatagramsOrdered(t *testing.T) {
+	d := newDuo()
+	var got []int
+	d.k.Spawn("rx", func(p *sim.Proc) {
+		sock, _ := d.sb.Socket(5)
+		for i := 0; i < 20; i++ {
+			dg, _ := sock.Recv(p)
+			got = append(got, int(dg.Data[0]))
+		}
+	})
+	d.k.Spawn("tx", func(p *sim.Proc) {
+		sock, _ := d.sa.Socket(0)
+		for i := 0; i < 20; i++ {
+			sock.SendTo(p, d.nb.ID, 5, []byte{byte(i), 1, 2, 3})
+		}
+	})
+	if err := d.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("order broken: %v", got)
+		}
+	}
+}
+
+func TestKstackDeterminism(t *testing.T) {
+	run := func() string {
+		d := newDuo()
+		var s string
+		d.k.Spawn("rx", func(p *sim.Proc) {
+			sock, _ := d.sb.Socket(5)
+			for i := 0; i < 5; i++ {
+				dg, _ := sock.Recv(p)
+				s += fmt.Sprintf("%d@%v ", len(dg.Data), p.Now())
+			}
+		})
+		d.k.Spawn("tx", func(p *sim.Proc) {
+			sock, _ := d.sa.Socket(0)
+			for i := 1; i <= 5; i++ {
+				sock.SendTo(p, d.nb.ID, 5, payload(i*1000))
+			}
+		})
+		if err := d.k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic:\n%s\n%s", a, b)
+	}
+}
+
+// Property: any datagram size (0..several MTUs) survives fragmentation and
+// reassembly byte-for-byte.
+func TestFragmentationRoundTripProperty(t *testing.T) {
+	prop := func(seed byte, szRaw uint16) bool {
+		size := int(szRaw) % (4 * 1500)
+		d := newDuo()
+		want := make([]byte, size)
+		for i := range want {
+			want[i] = seed + byte(i)
+		}
+		okCh := true
+		d.k.Spawn("rx", func(p *sim.Proc) {
+			sock, _ := d.sb.Socket(9)
+			dg, ok := sock.Recv(p)
+			if !ok || !bytes.Equal(dg.Data, want) {
+				okCh = false
+			}
+		})
+		d.k.Spawn("tx", func(p *sim.Proc) {
+			sock, _ := d.sa.Socket(0)
+			if err := sock.SendTo(p, d.nb.ID, 9, want); err != nil {
+				okCh = false
+			}
+		})
+		if err := d.k.Run(); err != nil {
+			return false
+		}
+		return okCh
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

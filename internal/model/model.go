@@ -1,0 +1,236 @@
+// Package model holds the machine/network cost model for the simulation.
+//
+// Every timing constant used anywhere in the stack lives in a Profile, so
+// experiments are fully described by (workload, profile) and EXPERIMENTS.md
+// can record exactly which numbers produced which tables. The default
+// profile is calibrated to the hardware class the paper evaluated on:
+// ~700 MHz-era hosts on a 1.25 Gb/s VIA SAN (Giganet/Emulex cLAN class),
+// using published numbers for that generation (VIA one-way latency in the
+// single-digit microseconds, ~110 MB/s peak bandwidth, kernel UDP/NFS paths
+// costing one-plus CPU copies per byte and several microseconds per packet).
+package model
+
+import "dafsio/internal/sim"
+
+// Profile is the complete cost model for one simulated machine generation.
+type Profile struct {
+	Name string
+
+	// ---- Host ----
+
+	// CPUCores is the number of cores per host (era machines: 1).
+	CPUCores int
+	// MemCopyBW is CPU memory-copy bandwidth in bytes/sec. Every copy a
+	// CPU performs (socket buffers, inline staging) is charged at this
+	// rate; it is the dominant term in kernel-path overhead.
+	MemCopyBW float64
+	// SyscallCost is the user/kernel crossing cost (entry+exit).
+	SyscallCost sim.Time
+	// InterruptCost is the full cost of taking a device interrupt
+	// (handler plus cache disturbance).
+	InterruptCost sim.Time
+	// WakeupLatency is the scheduling delay for unblocking a thread that
+	// slept on a completion.
+	WakeupLatency sim.Time
+
+	// ---- VIA NIC ----
+
+	// DoorbellCost is the CPU cost to post a descriptor to a VI work
+	// queue (build descriptor + PIO doorbell write). This is the entire
+	// per-operation CPU price of OS-bypass I/O.
+	DoorbellCost sim.Time
+	// DescProcess is the NIC's per-descriptor processing time.
+	DescProcess sim.Time
+	// DMASetup is the NIC's per-DMA-burst setup cost.
+	DMASetup sim.Time
+	// DMABandwidth is host<->NIC DMA bandwidth in bytes/sec (PCI era:
+	// 64-bit/33 MHz ~ 264 MB/s).
+	DMABandwidth float64
+	// CompletionCost is the NIC-side cost to deliver a CQ entry.
+	CompletionCost sim.Time
+	// MemRegBase and MemRegPerPage are the memory registration costs
+	// (pinning + NIC translation-table update), charged to the host CPU.
+	MemRegBase    sim.Time
+	MemRegPerPage sim.Time
+	// MemDeregCost is the cost of releasing a registration.
+	MemDeregCost sim.Time
+	// PageSize is the host page size used for registration accounting.
+	PageSize int
+
+	// ---- Wire ----
+
+	// LinkBandwidth is the SAN link rate in bytes/sec (1.25 Gb/s cLAN:
+	// 156.25 MB/s).
+	LinkBandwidth float64
+	// WireLatency is per-hop propagation plus switch latency.
+	WireLatency sim.Time
+	// CellSize is the NIC's internal segmentation unit: transfers are cut
+	// into cells so DMA, tx link and rx link pipeline within a message.
+	CellSize int
+	// CellHeader is the per-cell wire overhead in bytes.
+	CellHeader int
+
+	// ---- Kernel network stack (NFS baseline path) ----
+
+	// EthMTU is the kernel path's packet size limit.
+	EthMTU int
+	// PktCost is the per-packet kernel protocol processing cost
+	// (IP/UDP + driver), charged on each side.
+	PktCost sim.Time
+	// RPCCost is the per-RPC marshal/dispatch cost (XDR + RPC layer),
+	// charged on each side.
+	RPCCost sim.Time
+
+	// MarshalCost is the fixed CPU cost to encode or decode one
+	// lightweight (non-XDR) protocol message, paid by DAFS endpoints.
+	MarshalCost sim.Time
+
+	// ---- Servers ----
+
+	// DAFSOpCost is the DAFS server's per-request CPU cost (dispatch,
+	// lookup, protection checks).
+	DAFSOpCost sim.Time
+	// NFSOpCost is the NFS server's per-request CPU cost excluding data
+	// copies (VFS + export checks).
+	NFSOpCost sim.Time
+	// ServerMemBW is the server's buffer-cache memory bandwidth in
+	// bytes/sec, charged when the server CPU must touch data.
+	ServerMemBW float64
+
+	// ---- Storage ----
+
+	// DiskSeek and DiskBW describe the backing disk; they matter only
+	// for uncached experiments (Disk=true on the store).
+	DiskSeek sim.Time
+	DiskBW   float64
+}
+
+// CLAN1998 returns the default profile: a single-CPU ~700 MHz host on a
+// 1.25 Gb/s cLAN-class VIA SAN. All values are drawn from the published
+// literature of that hardware generation (VIA microbenchmark papers, the
+// DAFS/FAST-2002 measurements, Linux-2.4-era syscall and interrupt costs).
+func CLAN1998() *Profile {
+	return &Profile{
+		Name:     "clan-1998",
+		CPUCores: 1,
+
+		MemCopyBW:     350e6,
+		SyscallCost:   sim.Micros(1.5),
+		InterruptCost: sim.Micros(8),
+		WakeupLatency: sim.Micros(2),
+
+		DoorbellCost:   sim.Micros(0.5),
+		DescProcess:    sim.Micros(1.0),
+		DMASetup:       sim.Micros(0.6),
+		DMABandwidth:   264e6,
+		CompletionCost: sim.Micros(0.5),
+		MemRegBase:     sim.Micros(20),
+		MemRegPerPage:  sim.Micros(2.5),
+		MemDeregCost:   sim.Micros(10),
+		PageSize:       4096,
+
+		LinkBandwidth: 156.25e6,
+		WireLatency:   sim.Micros(2.5),
+		CellSize:      8192,
+		CellHeader:    32,
+
+		EthMTU:      1500,
+		PktCost:     sim.Micros(4),
+		RPCCost:     sim.Micros(12),
+		MarshalCost: sim.Micros(0.5),
+
+		DAFSOpCost:  sim.Micros(8),
+		NFSOpCost:   sim.Micros(20),
+		ServerMemBW: 800e6,
+
+		DiskSeek: 5 * sim.Millisecond,
+		DiskBW:   30e6,
+	}
+}
+
+// GbE2000 returns a profile for VIA-class user-level networking emulated
+// over gigabit Ethernet hardware (GNIC-II/M-VIA style): the same host
+// software structure, but a 1 Gb/s link with higher per-hop latency, a
+// smaller frame-oriented cell, and slightly cheaper hosts (a year newer).
+func GbE2000() *Profile {
+	p := CLAN1998()
+	p.Name = "gbe-2000"
+	p.LinkBandwidth = 125e6
+	p.WireLatency = sim.Micros(12) // store-and-forward GbE switch
+	p.CellSize = 1500
+	p.CellHeader = 26
+	p.MemCopyBW = 400e6
+	return p
+}
+
+// Validate checks a profile for self-consistency and returns a descriptive
+// panic-free error string list (empty when valid). Experiments refuse to
+// run with invalid profiles.
+func (p *Profile) Validate() []string {
+	var bad []string
+	pos := func(name string, v float64) {
+		if v <= 0 {
+			bad = append(bad, name+" must be positive")
+		}
+	}
+	posT := func(name string, v sim.Time) {
+		if v < 0 {
+			bad = append(bad, name+" must be non-negative")
+		}
+	}
+	if p.CPUCores < 1 {
+		bad = append(bad, "CPUCores must be >= 1")
+	}
+	pos("MemCopyBW", p.MemCopyBW)
+	pos("DMABandwidth", p.DMABandwidth)
+	pos("LinkBandwidth", p.LinkBandwidth)
+	pos("ServerMemBW", p.ServerMemBW)
+	posT("SyscallCost", p.SyscallCost)
+	posT("InterruptCost", p.InterruptCost)
+	posT("WakeupLatency", p.WakeupLatency)
+	posT("DoorbellCost", p.DoorbellCost)
+	posT("DescProcess", p.DescProcess)
+	posT("DMASetup", p.DMASetup)
+	posT("CompletionCost", p.CompletionCost)
+	posT("MemRegBase", p.MemRegBase)
+	posT("MemRegPerPage", p.MemRegPerPage)
+	posT("MemDeregCost", p.MemDeregCost)
+	posT("WireLatency", p.WireLatency)
+	posT("PktCost", p.PktCost)
+	posT("RPCCost", p.RPCCost)
+	posT("MarshalCost", p.MarshalCost)
+	posT("DAFSOpCost", p.DAFSOpCost)
+	posT("NFSOpCost", p.NFSOpCost)
+	if p.PageSize < 512 {
+		bad = append(bad, "PageSize must be >= 512")
+	}
+	if p.CellSize < 256 {
+		bad = append(bad, "CellSize must be >= 256")
+	}
+	if p.CellHeader < 0 || p.CellHeader >= p.CellSize {
+		bad = append(bad, "CellHeader must be in [0, CellSize)")
+	}
+	if p.EthMTU < 576 {
+		bad = append(bad, "EthMTU must be >= 576")
+	}
+	return bad
+}
+
+// Pages returns the number of pages spanned by n bytes (rounded up, min 1
+// for n > 0).
+func (p *Profile) Pages(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + p.PageSize - 1) / p.PageSize
+}
+
+// RegCost returns the CPU cost of registering n bytes of memory.
+func (p *Profile) RegCost(n int) sim.Time {
+	return p.MemRegBase + sim.Time(p.Pages(n))*p.MemRegPerPage
+}
+
+// CopyTime returns the CPU time to copy n bytes at host memory bandwidth.
+func (p *Profile) CopyTime(n int) sim.Time {
+	return sim.TransferTime(int64(n), p.MemCopyBW)
+}

@@ -1,0 +1,75 @@
+package model
+
+import (
+	"testing"
+
+	"dafsio/internal/sim"
+)
+
+func TestCLAN1998Valid(t *testing.T) {
+	p := CLAN1998()
+	if bad := p.Validate(); len(bad) != 0 {
+		t.Fatalf("default profile invalid: %v", bad)
+	}
+}
+
+func TestValidateCatchesBadValues(t *testing.T) {
+	p := CLAN1998()
+	p.LinkBandwidth = 0
+	p.CPUCores = 0
+	p.CellHeader = p.CellSize
+	bad := p.Validate()
+	if len(bad) != 3 {
+		t.Fatalf("want 3 problems, got %v", bad)
+	}
+}
+
+func TestPages(t *testing.T) {
+	p := CLAN1998()
+	cases := []struct{ n, want int }{
+		{0, 0}, {1, 1}, {4096, 1}, {4097, 2}, {8192, 2}, {12289, 4},
+	}
+	for _, c := range cases {
+		if got := p.Pages(c.n); got != c.want {
+			t.Errorf("Pages(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestRegCostGrowsWithSize(t *testing.T) {
+	p := CLAN1998()
+	small := p.RegCost(4096)
+	big := p.RegCost(1 << 20)
+	if small != p.MemRegBase+p.MemRegPerPage {
+		t.Fatalf("RegCost(4K) = %v", small)
+	}
+	if big <= small {
+		t.Fatalf("RegCost not monotone: %v <= %v", big, small)
+	}
+	wantBig := p.MemRegBase + 256*p.MemRegPerPage
+	if big != wantBig {
+		t.Fatalf("RegCost(1M) = %v, want %v", big, wantBig)
+	}
+}
+
+func TestCopyTime(t *testing.T) {
+	p := CLAN1998()
+	// 350 MB at 350 MB/s = 1 s.
+	if got := p.CopyTime(350e6); got != sim.Second {
+		t.Fatalf("CopyTime = %v", got)
+	}
+}
+
+func TestGbE2000Valid(t *testing.T) {
+	p := GbE2000()
+	if bad := p.Validate(); len(bad) != 0 {
+		t.Fatalf("gbe-2000 invalid: %v", bad)
+	}
+	base := CLAN1998()
+	if p.LinkBandwidth >= base.LinkBandwidth {
+		t.Fatal("GbE profile should have a slower link than cLAN")
+	}
+	if p.Name == base.Name {
+		t.Fatal("profiles share a name")
+	}
+}

@@ -1,0 +1,457 @@
+package mpiio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"dafsio/internal/mpi"
+	"dafsio/internal/sim"
+)
+
+// Two-phase collective I/O (ROMIO's generalized collective algorithm):
+//
+//  1. Every rank translates its request through its view and the ranks
+//     exchange their access extents.
+//  2. The aggregate file range is partitioned into equal *file domains*,
+//     one per rank (all ranks aggregate, cb_nodes = world size).
+//  3. Writes: each rank ships (offset, data) tuples to the domain owners
+//     over MPI (Alltoallv); owners assemble contiguous runs in collective
+//     buffers and issue few large driver writes.
+//     Reads: owners read merged ranges once and ship the requested pieces
+//     back.
+//
+// The payoff is turning many small, hole-separated accesses — which pay
+// per-operation latency and server cost — into link-speed bulk transfers,
+// at the price of one extra memory copy per end and an MPI exchange.
+
+// WriteAtAll is the collective MPI_File_write_at_all. Every rank of the
+// world must call it (with its own offset and buffer; empty buffers are
+// fine).
+func (f *File) WriteAtAll(p *sim.Proc, off int64, buf []byte) (int, error) {
+	if f.closed {
+		return 0, ErrClosed
+	}
+	if off < 0 {
+		return 0, ErrNegative
+	}
+	r := f.rank
+	if r == nil || r.Size() == 1 {
+		return f.WriteAt(p, off, buf)
+	}
+	segs := f.physSegs(off, len(buf))
+	gmin, gmax, any := f.exchangeExtents(p, segs)
+	if !any {
+		return 0, nil
+	}
+	n := r.Size()
+	node := f.drv.Node()
+
+	// Phase 1: pack (offset, data) tuples per destination domain owner.
+	payloads := make([][]byte, n)
+	pos := 0
+	packed := 0
+	for _, s := range segs {
+		segBufStart := pos
+		pos += int(s.Len)
+		cur := s.Off
+		remaining := s.Len
+		for remaining > 0 {
+			a := domainOf(gmin, gmax, n, cur)
+			_, hi := domainBounds(gmin, gmax, n, a)
+			take := min(hi-cur, remaining)
+			pl := payloads[a]
+			pl = binary.LittleEndian.AppendUint64(pl, uint64(cur))
+			pl = binary.LittleEndian.AppendUint32(pl, uint32(take))
+			dataStart := segBufStart + int(cur-s.Off)
+			pl = append(pl, buf[dataStart:dataStart+int(take)]...)
+			payloads[a] = pl
+			packed += int(take)
+			cur += take
+			remaining -= take
+		}
+	}
+	node.CopyMem(p, packed)
+
+	// Phase 2: exchange and aggregate.
+	recv := r.AlltoallvBytes(p, payloads)
+	aggErr := f.aggregateWrite(p, recv)
+
+	// Completion + error propagation (also orders the data for any
+	// subsequent collective).
+	ok := int64(1)
+	if aggErr != nil {
+		ok = 0
+	}
+	if r.AllreduceI64(p, ok, mpi.OpMin) == 0 {
+		if aggErr != nil {
+			return 0, aggErr
+		}
+		return 0, fmt.Errorf("mpiio: collective write failed on a peer")
+	}
+	return len(buf), nil
+}
+
+// aggregateWrite sorts this rank's incoming tuples, assembles contiguous
+// runs up to CollBufSize, and writes them with pipelined driver operations.
+func (f *File) aggregateWrite(p *sim.Proc, recv [][]byte) error {
+	node := f.drv.Node()
+	type tuple struct {
+		off  int64
+		data []byte
+	}
+	var tuples []tuple
+	for _, pl := range recv {
+		for len(pl) > 0 {
+			if len(pl) < 12 {
+				return fmt.Errorf("mpiio: corrupt collective payload")
+			}
+			o := int64(binary.LittleEndian.Uint64(pl))
+			l := int(binary.LittleEndian.Uint32(pl[8:]))
+			if len(pl) < 12+l {
+				return fmt.Errorf("mpiio: corrupt collective payload")
+			}
+			tuples = append(tuples, tuple{off: o, data: pl[12 : 12+l]})
+			pl = pl[12+l:]
+		}
+	}
+	sort.SliceStable(tuples, func(i, j int) bool { return tuples[i].off < tuples[j].off })
+
+	var ops []AsyncOp
+	var run []byte
+	runStart := int64(-1)
+	assembled := 0
+	flush := func() error {
+		if len(run) == 0 {
+			return nil
+		}
+		op, err := f.h.StartWrite(p, runStart, run)
+		if err != nil {
+			return err
+		}
+		ops = append(ops, op)
+		run, runStart = nil, -1
+		return nil
+	}
+	for _, t := range tuples {
+		end := runStart + int64(len(run))
+		switch {
+		case runStart == -1:
+			runStart = t.off
+			run = append(make([]byte, 0, min(f.hints.CollBufSize, 4*len(t.data))), t.data...)
+		case t.off == end && len(run)+len(t.data) <= f.hints.CollBufSize:
+			run = append(run, t.data...)
+		case t.off >= runStart && t.off+int64(len(t.data)) <= end:
+			// Overlap fully inside the run: later tuple wins.
+			copy(run[t.off-runStart:], t.data)
+		default:
+			if err := flush(); err != nil {
+				return err
+			}
+			runStart = t.off
+			run = append([]byte(nil), t.data...)
+		}
+		assembled += len(t.data)
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	node.CopyMem(p, assembled) // collective-buffer assembly copy
+	for _, op := range ops {
+		if _, err := op.Wait(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadAtAll is the collective MPI_File_read_at_all. The returned count is
+// the total number of bytes delivered into buf (short at EOF holes).
+func (f *File) ReadAtAll(p *sim.Proc, off int64, buf []byte) (int, error) {
+	if f.closed {
+		return 0, ErrClosed
+	}
+	if off < 0 {
+		return 0, ErrNegative
+	}
+	r := f.rank
+	if r == nil || r.Size() == 1 {
+		return f.ReadAt(p, off, buf)
+	}
+	segs := f.physSegs(off, len(buf))
+	gmin, gmax, any := f.exchangeExtents(p, segs)
+	if !any {
+		return 0, nil
+	}
+	n := r.Size()
+	node := f.drv.Node()
+
+	// Phase 1: send (offset, length) request tuples to domain owners,
+	// remembering where each tuple's data belongs in buf.
+	type reqRef struct {
+		bufPos int
+		n      int
+	}
+	reqPayloads := make([][]byte, n)
+	myReqs := make([][]reqRef, n)
+	pos := 0
+	for _, s := range segs {
+		segBufStart := pos
+		pos += int(s.Len)
+		cur := s.Off
+		remaining := s.Len
+		for remaining > 0 {
+			a := domainOf(gmin, gmax, n, cur)
+			_, hi := domainBounds(gmin, gmax, n, a)
+			take := min(hi-cur, remaining)
+			pl := reqPayloads[a]
+			pl = binary.LittleEndian.AppendUint64(pl, uint64(cur))
+			pl = binary.LittleEndian.AppendUint32(pl, uint32(take))
+			reqPayloads[a] = pl
+			myReqs[a] = append(myReqs[a], reqRef{bufPos: segBufStart + int(cur-s.Off), n: int(take)})
+			cur += take
+			remaining -= take
+		}
+	}
+	reqs := r.AlltoallvBytes(p, reqPayloads)
+
+	// Phase 2: serve my domain and exchange the data back.
+	replies, aggErr := f.aggregateRead(p, reqs)
+	datas := r.AlltoallvBytes(p, replies)
+
+	// Scatter replies into buf (reply tuples mirror request order).
+	total := 0
+	var scatterErr error
+	for a, reply := range datas {
+		for _, ref := range myReqs[a] {
+			if len(reply) < 4 {
+				scatterErr = fmt.Errorf("mpiio: corrupt collective reply")
+				break
+			}
+			avail := int(binary.LittleEndian.Uint32(reply))
+			reply = reply[4:]
+			if avail > ref.n || len(reply) < avail {
+				scatterErr = fmt.Errorf("mpiio: corrupt collective reply")
+				break
+			}
+			copy(buf[ref.bufPos:ref.bufPos+avail], reply[:avail])
+			reply = reply[avail:]
+			total += avail
+		}
+	}
+	node.CopyMem(p, total)
+
+	ok := int64(1)
+	if aggErr != nil || scatterErr != nil {
+		ok = 0
+	}
+	if r.AllreduceI64(p, ok, mpi.OpMin) == 0 {
+		if aggErr != nil {
+			return total, aggErr
+		}
+		if scatterErr != nil {
+			return total, scatterErr
+		}
+		return total, fmt.Errorf("mpiio: collective read failed on a peer")
+	}
+	return total, nil
+}
+
+// ReadAll is the collective read at the individual file pointer
+// (MPI_File_read_all).
+func (f *File) ReadAll(p *sim.Proc, buf []byte) (int, error) {
+	n, err := f.ReadAtAll(p, f.ptr, buf)
+	f.ptr += int64(n)
+	return n, err
+}
+
+// WriteAll is the collective write at the individual file pointer
+// (MPI_File_write_all).
+func (f *File) WriteAll(p *sim.Proc, buf []byte) (int, error) {
+	n, err := f.WriteAtAll(p, f.ptr, buf)
+	f.ptr += int64(n)
+	return n, err
+}
+
+// Split collective I/O (MPI_File_write_at_all_begin/end): the collective
+// runs in a helper process so the rank can compute while the exchange and
+// aggregation proceed. Every rank must pair each begin with an end, and at
+// most one split collective may be outstanding per file.
+
+// WriteAtAllBegin starts a split collective write.
+func (f *File) WriteAtAllBegin(p *sim.Proc, off int64, buf []byte) *Request {
+	return f.async(p, func(hp *sim.Proc) (int, error) { return f.WriteAtAll(hp, off, buf) })
+}
+
+// ReadAtAllBegin starts a split collective read.
+func (f *File) ReadAtAllBegin(p *sim.Proc, off int64, buf []byte) *Request {
+	return f.async(p, func(hp *sim.Proc) (int, error) { return f.ReadAtAll(hp, off, buf) })
+}
+
+// aggregateRead parses request tuples from every source, reads the merged
+// ranges of this rank's domain with few large driver reads, and builds the
+// per-source replies.
+func (f *File) aggregateRead(p *sim.Proc, reqs [][]byte) ([][]byte, error) {
+	node := f.drv.Node()
+	type req struct {
+		off int64
+		n   int
+	}
+	perSrc := make([][]req, len(reqs))
+	var ranges []Segment
+	for src, pl := range reqs {
+		for len(pl) > 0 {
+			if len(pl) < 12 {
+				return nil, fmt.Errorf("mpiio: corrupt collective request")
+			}
+			o := int64(binary.LittleEndian.Uint64(pl))
+			l := int(binary.LittleEndian.Uint32(pl[8:]))
+			pl = pl[12:]
+			perSrc[src] = append(perSrc[src], req{off: o, n: l})
+			ranges = append(ranges, Segment{Off: o, Len: int64(l)})
+		}
+	}
+	merged := mergeRanges(ranges)
+
+	// Read merged ranges in CollBufSize chunks.
+	type span struct {
+		off  int64
+		data []byte
+	}
+	var spans []span
+	for _, m := range merged {
+		cur := m.Off
+		remaining := m.Len
+		for remaining > 0 {
+			take := min(remaining, int64(f.hints.CollBufSize))
+			chunk := make([]byte, take)
+			got, err := f.h.ReadContig(p, cur, chunk)
+			if err != nil {
+				return nil, err
+			}
+			if got > 0 {
+				spans = append(spans, span{off: cur, data: chunk[:got]})
+			}
+			cur += take
+			remaining -= take
+			if got < int(take) {
+				break // EOF inside this range
+			}
+		}
+	}
+
+	// fetch returns the available prefix of [off, off+n).
+	fetch := func(off int64, n int) []byte {
+		out := make([]byte, 0, n)
+		cur := off
+		for n > 0 {
+			i := sort.Search(len(spans), func(i int) bool {
+				return spans[i].off+int64(len(spans[i].data)) > cur
+			})
+			if i == len(spans) || spans[i].off > cur {
+				break // hole (EOF region)
+			}
+			s := spans[i]
+			rel := cur - s.off
+			take := min(int64(n), int64(len(s.data))-rel)
+			out = append(out, s.data[rel:rel+take]...)
+			cur += take
+			n -= int(take)
+		}
+		return out
+	}
+
+	replies := make([][]byte, len(reqs))
+	served := 0
+	for src, list := range perSrc {
+		var reply []byte
+		for _, rq := range list {
+			data := fetch(rq.off, rq.n)
+			reply = binary.LittleEndian.AppendUint32(reply, uint32(len(data)))
+			reply = append(reply, data...)
+			served += len(data)
+		}
+		replies[src] = reply
+	}
+	node.CopyMem(p, served) // reply assembly copy
+	return replies, nil
+}
+
+// exchangeExtents allgathers each rank's [lo, hi) access range and returns
+// the global hull. any is false when every rank's request is empty.
+func (f *File) exchangeExtents(p *sim.Proc, segs []Segment) (gmin, gmax int64, any bool) {
+	lo, hi := int64(-1), int64(-1)
+	if len(segs) > 0 {
+		lo = segs[0].Off
+		hi = segs[len(segs)-1].Off + segs[len(segs)-1].Len
+	}
+	var b [16]byte
+	binary.LittleEndian.PutUint64(b[0:], uint64(lo))
+	binary.LittleEndian.PutUint64(b[8:], uint64(hi))
+	all := f.rank.AllgatherBytes(p, b[:])
+	for _, e := range all {
+		l := int64(binary.LittleEndian.Uint64(e[0:]))
+		h := int64(binary.LittleEndian.Uint64(e[8:]))
+		if l < 0 {
+			continue
+		}
+		if !any || l < gmin {
+			gmin = l
+		}
+		if !any || h > gmax {
+			gmax = h
+		}
+		any = true
+	}
+	return gmin, gmax, any
+}
+
+// domainBounds returns aggregator a's file domain [lo, hi).
+func domainBounds(gmin, gmax int64, nAgg, a int) (int64, int64) {
+	span := gmax - gmin
+	chunk := (span + int64(nAgg) - 1) / int64(nAgg)
+	if chunk == 0 {
+		chunk = 1
+	}
+	lo := min(gmin+int64(a)*chunk, gmax)
+	hi := min(lo+chunk, gmax)
+	return lo, hi
+}
+
+// domainOf returns the aggregator owning byte offset off.
+func domainOf(gmin, gmax int64, nAgg int, off int64) int {
+	span := gmax - gmin
+	chunk := (span + int64(nAgg) - 1) / int64(nAgg)
+	if chunk == 0 {
+		return 0
+	}
+	a := int((off - gmin) / chunk)
+	if a >= nAgg {
+		a = nAgg - 1
+	}
+	if a < 0 {
+		a = 0
+	}
+	return a
+}
+
+// mergeRanges sorts and unions byte ranges.
+func mergeRanges(in []Segment) []Segment {
+	if len(in) == 0 {
+		return nil
+	}
+	segs := append([]Segment(nil), in...)
+	sort.Slice(segs, func(i, j int) bool { return segs[i].Off < segs[j].Off })
+	out := segs[:1]
+	for _, s := range segs[1:] {
+		last := &out[len(out)-1]
+		if s.Off <= last.Off+last.Len {
+			if end := s.Off + s.Len; end > last.Off+last.Len {
+				last.Len = end - last.Off
+			}
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}

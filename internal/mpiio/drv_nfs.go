@@ -1,0 +1,186 @@
+package mpiio
+
+import (
+	"errors"
+	"fmt"
+
+	"dafsio/internal/fabric"
+	"dafsio/internal/nfs"
+	"dafsio/internal/sim"
+)
+
+// NFSDriver binds MPI-IO to an NFS mount — the paper's baseline transport.
+// Transfers are chunked to the mount's rsize/wsize and pipelined by the NFS
+// client; every byte crosses the kernel stack on both ends.
+type NFSDriver struct {
+	client *nfs.Client
+}
+
+// NewNFSDriver wraps an established mount.
+func NewNFSDriver(client *nfs.Client) *NFSDriver {
+	return &NFSDriver{client: client}
+}
+
+// Client returns the underlying mount.
+func (d *NFSDriver) Client() *nfs.Client { return d.client }
+
+// Name implements Driver.
+func (d *NFSDriver) Name() string { return "nfs" }
+
+// Delete implements Driver.
+func (d *NFSDriver) Delete(p *sim.Proc, name string) error {
+	return mapNfsErr(d.client.Remove(p, name))
+}
+
+// Open implements Driver.
+func (d *NFSDriver) Open(p *sim.Proc, name string, mode int) (Handle, error) {
+	if err := checkAccessMode(mode); err != nil {
+		return nil, err
+	}
+	c := d.client
+	fh, _, err := c.Lookup(p, name)
+	switch {
+	case err == nil:
+		if mode&ModeExcl != 0 {
+			return nil, ErrExist
+		}
+	case errors.Is(err, nfs.ErrNoEnt) && mode&ModeCreate != 0:
+		fh, _, err = c.Create(p, name)
+		if err != nil {
+			return nil, mapNfsErr(err)
+		}
+	default:
+		return nil, mapNfsErr(err)
+	}
+	return &nfsHandle{drv: d, fh: fh, name: name, mode: mode}, nil
+}
+
+func mapNfsErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, nfs.ErrNoEnt):
+		return ErrNoEnt
+	case errors.Is(err, nfs.ErrExist):
+		return ErrExist
+	default:
+		return fmt.Errorf("mpiio: nfs: %w", err)
+	}
+}
+
+type nfsHandle struct {
+	drv    *NFSDriver
+	fh     nfs.FH
+	name   string
+	mode   int
+	closed bool
+}
+
+func (h *nfsHandle) check(off int64, write bool) error {
+	if h.closed {
+		return ErrClosed
+	}
+	if off < 0 {
+		return ErrNegative
+	}
+	if write && h.mode&ModeRdOnly != 0 {
+		return ErrReadOnly
+	}
+	if !write && h.mode&ModeWrOnly != 0 {
+		return ErrWriteOnly
+	}
+	return nil
+}
+
+type nfsOp struct{ io *nfs.IO }
+
+// Wait implements AsyncOp.
+func (o nfsOp) Wait(p *sim.Proc) (int, error) {
+	n, err := o.io.Wait(p)
+	return n, mapNfsErr(err)
+}
+
+// StartRead implements Handle.
+func (h *nfsHandle) StartRead(p *sim.Proc, off int64, buf []byte) (AsyncOp, error) {
+	if err := h.check(off, false); err != nil {
+		return nil, err
+	}
+	io, err := h.drv.client.StartRead(p, h.fh, off, buf)
+	if err != nil {
+		return nil, mapNfsErr(err)
+	}
+	return nfsOp{io: io}, nil
+}
+
+// StartWrite implements Handle.
+func (h *nfsHandle) StartWrite(p *sim.Proc, off int64, buf []byte) (AsyncOp, error) {
+	if err := h.check(off, true); err != nil {
+		return nil, err
+	}
+	io, err := h.drv.client.StartWrite(p, h.fh, off, buf)
+	if err != nil {
+		return nil, mapNfsErr(err)
+	}
+	return nfsOp{io: io}, nil
+}
+
+// ReadContig implements Handle.
+func (h *nfsHandle) ReadContig(p *sim.Proc, off int64, buf []byte) (int, error) {
+	op, err := h.StartRead(p, off, buf)
+	if err != nil {
+		return 0, err
+	}
+	return op.Wait(p)
+}
+
+// WriteContig implements Handle.
+func (h *nfsHandle) WriteContig(p *sim.Proc, off int64, buf []byte) (int, error) {
+	op, err := h.StartWrite(p, off, buf)
+	if err != nil {
+		return 0, err
+	}
+	return op.Wait(p)
+}
+
+// Size implements Handle.
+func (h *nfsHandle) Size(p *sim.Proc) (int64, error) {
+	if h.closed {
+		return 0, ErrClosed
+	}
+	attr, err := h.drv.client.Getattr(p, h.fh)
+	return attr.Size, mapNfsErr(err)
+}
+
+// Resize implements Handle.
+func (h *nfsHandle) Resize(p *sim.Proc, n int64) error {
+	if h.closed {
+		return ErrClosed
+	}
+	if n < 0 {
+		return ErrNegative
+	}
+	return mapNfsErr(h.drv.client.Setattr(p, h.fh, n))
+}
+
+// Sync implements Handle.
+func (h *nfsHandle) Sync(p *sim.Proc) error {
+	if h.closed {
+		return ErrClosed
+	}
+	return mapNfsErr(h.drv.client.Commit(p, h.fh))
+}
+
+// Close implements Handle.
+func (h *nfsHandle) Close(p *sim.Proc) error {
+	if h.closed {
+		return nil
+	}
+	h.closed = true
+	if h.mode&ModeDeleteOnClose != 0 {
+		return h.drv.Delete(p, h.name)
+	}
+	return nil
+}
+
+// Node implements Driver.
+func (d *NFSDriver) Node() *fabric.Node { return d.client.Node() }

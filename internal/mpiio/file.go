@@ -1,0 +1,421 @@
+package mpiio
+
+import (
+	"fmt"
+
+	"dafsio/internal/mpi"
+	"dafsio/internal/sim"
+)
+
+// Hints tunes the MPI-IO layer (the MPI_Info keys ROMIO understands, at the
+// same defaults scale).
+type Hints struct {
+	// CollBufSize caps each contiguous access an aggregator issues during
+	// two-phase collective I/O (cb_buffer_size). Default 1 MiB.
+	CollBufSize int
+	// SieveBufSize is the data-sieving window (ind_rd_buffer_size).
+	// Default 512 KiB.
+	SieveBufSize int
+	// Sieving enables data sieving for noncontiguous independent access;
+	// off, the layer issues one driver operation per segment (list I/O).
+	Sieving bool
+	// NoBatch disables protocol-level batch I/O (ListHandle) even when
+	// the driver supports it, forcing per-segment list operations.
+	NoBatch bool
+}
+
+func (h *Hints) withDefaults() Hints {
+	out := Hints{CollBufSize: 1 << 20, SieveBufSize: 512 << 10}
+	if h != nil {
+		if h.CollBufSize > 0 {
+			out.CollBufSize = h.CollBufSize
+		}
+		if h.SieveBufSize > 0 {
+			out.SieveBufSize = h.SieveBufSize
+		}
+		out.Sieving = h.Sieving
+		out.NoBatch = h.NoBatch
+	}
+	return out
+}
+
+// File is an open MPI-IO file. When opened over an MPI rank, collective
+// operations (Open, Close, SetSize, the *All I/O calls) must be invoked by
+// every rank of the world.
+type File struct {
+	drv   Driver
+	h     Handle
+	rank  *mpi.Rank // nil for serial (non-MPI) use
+	name  string
+	mode  int
+	hints Hints
+
+	disp  int64
+	ftype *Datatype // nil: flat (contiguous) view
+	ptr   int64     // individual file pointer, in view data-space bytes
+
+	shared *sharedState // shared file pointer (see shared.go)
+	atomic *atomicState // atomic mode (see atomic.go)
+	closed bool
+}
+
+// Open opens name through drv. rank may be nil for serial use; when set,
+// the call is collective: rank 0 performs any create first (avoiding create
+// races), and all ranks synchronize before returning.
+func Open(p *sim.Proc, rank *mpi.Rank, drv Driver, name string, mode int, hints *Hints) (*File, error) {
+	if err := checkAccessMode(mode); err != nil {
+		return nil, err
+	}
+	f := &File{drv: drv, rank: rank, name: name, mode: mode, hints: hints.withDefaults()}
+	if rank == nil || rank.Size() == 1 {
+		h, err := drv.Open(p, name, mode)
+		if err != nil {
+			return nil, err
+		}
+		f.h = h
+		f.initShared(p)
+		f.initAtomic(p)
+		return f, nil
+	}
+	// Collective open: rank 0 opens (and creates) first; the others then
+	// open the existing file without CREATE/EXCL semantics racing.
+	var err error
+	if rank.ID() == 0 {
+		f.h, err = drv.Open(p, name, mode)
+	}
+	ok := int64(1)
+	if rank.ID() == 0 && err != nil {
+		ok = 0
+	}
+	ok = rank.AllreduceI64(p, ok, mpi.OpMin)
+	if ok == 0 {
+		if err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("mpiio: collective open failed on rank 0")
+	}
+	if rank.ID() != 0 {
+		f.h, err = drv.Open(p, name, mode&^(ModeExcl))
+		if err != nil {
+			return nil, err
+		}
+	}
+	f.initShared(p)
+	f.initAtomic(p)
+	rank.Barrier(p)
+	return f, nil
+}
+
+// Delete removes a file by name (MPI_File_delete).
+func Delete(p *sim.Proc, drv Driver, name string) error {
+	return drv.Delete(p, name)
+}
+
+// Name returns the file name.
+func (f *File) Name() string { return f.name }
+
+// Driver returns the underlying driver.
+func (f *File) Driver() Driver { return f.drv }
+
+// SetView installs a file view: a displacement plus a filetype whose data
+// space addresses subsequent offsets (MPI_File_set_view with etype =
+// MPI_BYTE). A nil filetype restores the flat view. Resets the individual
+// file pointer; the shared file pointer is NOT reset (deviation from MPI —
+// call SeekShared, which is collective, if the view change needs it).
+func (f *File) SetView(disp int64, ftype *Datatype) error {
+	if f.closed {
+		return ErrClosed
+	}
+	if disp < 0 {
+		return ErrNegative
+	}
+	if ftype != nil && ftype.Size() == 0 {
+		return fmt.Errorf("mpiio: zero-size filetype in view")
+	}
+	f.disp = disp
+	f.ftype = ftype
+	f.ptr = 0
+	return nil
+}
+
+// View returns the current displacement and filetype (nil = flat).
+func (f *File) View() (int64, *Datatype) { return f.disp, f.ftype }
+
+// physSegs translates a view-relative byte range into physical file
+// segments (ascending, coalesced).
+func (f *File) physSegs(off int64, n int) []Segment {
+	if n <= 0 {
+		return nil
+	}
+	if f.ftype == nil {
+		return []Segment{{Off: f.disp + off, Len: int64(n)}}
+	}
+	segs := f.ftype.mapRange(off, int64(n), nil)
+	for i := range segs {
+		segs[i].Off += f.disp
+	}
+	return segs
+}
+
+// ReadAt reads len(buf) view bytes starting at view offset off
+// (MPI_File_read_at). The returned count is the total number of bytes
+// transferred.
+func (f *File) ReadAt(p *sim.Proc, off int64, buf []byte) (int, error) {
+	return f.transferAt(p, off, buf, false)
+}
+
+// WriteAt writes len(buf) view bytes at view offset off
+// (MPI_File_write_at).
+func (f *File) WriteAt(p *sim.Proc, off int64, buf []byte) (int, error) {
+	return f.transferAt(p, off, buf, true)
+}
+
+func (f *File) transferAt(p *sim.Proc, off int64, buf []byte, write bool) (int, error) {
+	if f.closed {
+		return 0, ErrClosed
+	}
+	if off < 0 {
+		return 0, ErrNegative
+	}
+	if len(buf) == 0 {
+		return 0, nil
+	}
+	f.lock(p)
+	defer f.unlock(p)
+	segs := f.physSegs(off, len(buf))
+	if len(segs) == 1 {
+		if write {
+			return f.h.WriteContig(p, segs[0].Off, buf)
+		}
+		return f.h.ReadContig(p, segs[0].Off, buf)
+	}
+	if f.hints.Sieving {
+		if write {
+			return f.sieveWrite(p, segs, buf)
+		}
+		return f.sieveRead(p, segs, buf)
+	}
+	return f.listIO(p, segs, buf, write)
+}
+
+// listIO moves a noncontiguous request: through the driver's batch
+// operations when the protocol has them, otherwise one pipelined driver
+// operation per segment.
+func (f *File) listIO(p *sim.Proc, segs []Segment, buf []byte, write bool) (int, error) {
+	if lh, ok := f.h.(ListHandle); ok && !f.hints.NoBatch {
+		var op AsyncOp
+		var err error
+		if write {
+			op, err = lh.StartWriteList(p, segs, buf)
+		} else {
+			op, err = lh.StartReadList(p, segs, buf)
+		}
+		if err != nil {
+			return 0, err
+		}
+		return op.Wait(p)
+	}
+	return f.perSegIO(p, segs, buf, write)
+}
+
+// perSegIO issues one pipelined driver operation per segment.
+func (f *File) perSegIO(p *sim.Proc, segs []Segment, buf []byte, write bool) (int, error) {
+	type pending struct {
+		op AsyncOp
+	}
+	ops := make([]pending, 0, len(segs))
+	pos := 0
+	for _, s := range segs {
+		chunk := buf[pos : pos+int(s.Len)]
+		pos += int(s.Len)
+		var op AsyncOp
+		var err error
+		if write {
+			op, err = f.h.StartWrite(p, s.Off, chunk)
+		} else {
+			op, err = f.h.StartRead(p, s.Off, chunk)
+		}
+		if err != nil {
+			return 0, err
+		}
+		ops = append(ops, pending{op: op})
+	}
+	total := 0
+	for _, o := range ops {
+		n, err := o.op.Wait(p)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// Read and Write use the individual file pointer.
+
+// Read transfers from the current file pointer and advances it.
+func (f *File) Read(p *sim.Proc, buf []byte) (int, error) {
+	n, err := f.ReadAt(p, f.ptr, buf)
+	f.ptr += int64(n)
+	return n, err
+}
+
+// Write transfers at the current file pointer and advances it.
+func (f *File) Write(p *sim.Proc, buf []byte) (int, error) {
+	n, err := f.WriteAt(p, f.ptr, buf)
+	f.ptr += int64(n)
+	return n, err
+}
+
+// Seek whence values.
+const (
+	SeekSet = iota
+	SeekCur
+	SeekEnd
+)
+
+// Seek repositions the individual file pointer (view-relative bytes).
+// SeekEnd is relative to the file size mapped into the view's data space
+// for flat views, and to the physical end otherwise.
+func (f *File) Seek(p *sim.Proc, off int64, whence int) (int64, error) {
+	if f.closed {
+		return 0, ErrClosed
+	}
+	var base int64
+	switch whence {
+	case SeekSet:
+		base = 0
+	case SeekCur:
+		base = f.ptr
+	case SeekEnd:
+		size, err := f.h.Size(p)
+		if err != nil {
+			return 0, err
+		}
+		base = size - f.disp
+		if base < 0 {
+			base = 0
+		}
+	default:
+		return 0, fmt.Errorf("mpiio: bad seek whence %d", whence)
+	}
+	np := base + off
+	if np < 0 {
+		return 0, ErrNegative
+	}
+	f.ptr = np
+	return np, nil
+}
+
+// Tell returns the individual file pointer.
+func (f *File) Tell() int64 { return f.ptr }
+
+// GetSize returns the physical file size.
+func (f *File) GetSize(p *sim.Proc) (int64, error) {
+	if f.closed {
+		return 0, ErrClosed
+	}
+	return f.h.Size(p)
+}
+
+// SetSize truncates or extends the file (collective when rank is set).
+func (f *File) SetSize(p *sim.Proc, n int64) error {
+	if f.closed {
+		return ErrClosed
+	}
+	var err error
+	if f.rank == nil || f.rank.Size() == 1 {
+		return f.h.Resize(p, n)
+	}
+	if f.rank.ID() == 0 {
+		err = f.h.Resize(p, n)
+	}
+	f.rank.Barrier(p)
+	return err
+}
+
+// Preallocate ensures the file is at least n bytes long (MPI_File_
+// preallocate; collective when rank is set). Unlike SetSize it never
+// shrinks.
+func (f *File) Preallocate(p *sim.Proc, n int64) error {
+	if f.closed {
+		return ErrClosed
+	}
+	if n < 0 {
+		return ErrNegative
+	}
+	grow := func() error {
+		size, err := f.h.Size(p)
+		if err != nil {
+			return err
+		}
+		if size >= n {
+			return nil
+		}
+		return f.h.Resize(p, n)
+	}
+	if f.rank == nil || f.rank.Size() == 1 {
+		return grow()
+	}
+	var err error
+	if f.rank.ID() == 0 {
+		err = grow()
+	}
+	f.rank.Barrier(p)
+	return err
+}
+
+// Sync commits written data (MPI_File_sync).
+func (f *File) Sync(p *sim.Proc) error {
+	if f.closed {
+		return ErrClosed
+	}
+	return f.h.Sync(p)
+}
+
+// Close releases the file (collective when rank is set).
+func (f *File) Close(p *sim.Proc) error {
+	if f.closed {
+		return nil
+	}
+	if f.rank != nil && f.rank.Size() > 1 {
+		f.rank.Barrier(p)
+	}
+	f.closed = true
+	return f.h.Close(p)
+}
+
+// Request is a nonblocking MPI-IO operation (MPI_File_iread/iwrite family).
+type Request struct {
+	fut *sim.Future[reqResult]
+}
+
+type reqResult struct {
+	n   int
+	err error
+}
+
+// Wait blocks until the operation completes and returns its count.
+func (r *Request) Wait(p *sim.Proc) (int, error) {
+	res := r.fut.Get(p)
+	return res.n, res.err
+}
+
+func (f *File) async(p *sim.Proc, fn func(hp *sim.Proc) (int, error)) *Request {
+	req := &Request{fut: sim.NewFuture[reqResult](p.Kernel())}
+	p.Spawn("mpiio.async", func(hp *sim.Proc) {
+		n, err := fn(hp)
+		req.fut.Set(reqResult{n: n, err: err})
+	})
+	return req
+}
+
+// IreadAt starts a nonblocking ReadAt.
+func (f *File) IreadAt(p *sim.Proc, off int64, buf []byte) *Request {
+	return f.async(p, func(hp *sim.Proc) (int, error) { return f.ReadAt(hp, off, buf) })
+}
+
+// IwriteAt starts a nonblocking WriteAt.
+func (f *File) IwriteAt(p *sim.Proc, off int64, buf []byte) *Request {
+	return f.async(p, func(hp *sim.Proc) (int, error) { return f.WriteAt(hp, off, buf) })
+}

@@ -1,0 +1,180 @@
+package mpiio
+
+import (
+	"encoding/binary"
+
+	"dafsio/internal/mpi"
+	"dafsio/internal/sim"
+)
+
+// Shared file pointer support (MPI_File_read/write_shared and the ordered
+// collectives). One pointer per open file is shared by every rank of the
+// world; it advances in view data-space bytes, like the individual
+// pointer.
+//
+// Implementation: rank 0 hosts a pointer service for each collectively
+// opened file (ROMIO used a hidden file plus fcntl locks for the same
+// job; a message-based service is the natural equivalent on a SAN).
+// Independent shared operations perform an atomic fetch-and-add against
+// the service; ordered collectives compute rank-order offsets with one
+// prefix sum and a single fetch-and-add.
+
+// pointer-service message ops.
+const (
+	spFetchAdd uint8 = iota
+	spSet
+)
+
+// sharedState is the per-File client side of the pointer service.
+type sharedState struct {
+	reqTag, respTag int
+	local           int64 // serial (no-world) fallback pointer
+}
+
+// initShared sets up the pointer service during collective open. All ranks
+// must call it at the same point of the open sequence.
+func (f *File) initShared(p *sim.Proc) {
+	f.shared = &sharedState{}
+	r := f.rank
+	if r == nil || r.Size() == 1 {
+		return
+	}
+	var base uint64
+	if r.ID() == 0 {
+		base = uint64(r.World().ReserveTags(2))
+	}
+	base = r.BcastU64(p, 0, base)
+	f.shared.reqTag = int(base)
+	f.shared.respTag = int(base + 1)
+	if r.ID() == 0 {
+		reqTag, respTag := f.shared.reqTag, f.shared.respTag
+		r.World().Kernel().SpawnDaemon(f.name+".spsvc", func(sp *sim.Proc) {
+			var ptr int64
+			buf := make([]byte, 9)
+			for {
+				st := r.Recv(sp, mpi.AnySource, reqTag, buf)
+				op := buf[0]
+				val := int64(binary.LittleEndian.Uint64(buf[1:]))
+				old := ptr
+				switch op {
+				case spFetchAdd:
+					ptr += val
+				case spSet:
+					ptr = val
+				}
+				var out [8]byte
+				binary.LittleEndian.PutUint64(out[:], uint64(old))
+				r.Send(sp, st.Source, respTag, out[:])
+			}
+		})
+	}
+}
+
+// spCall performs one pointer-service round trip and returns the previous
+// pointer value.
+func (f *File) spCall(p *sim.Proc, op uint8, val int64) int64 {
+	s := f.shared
+	r := f.rank
+	if r == nil || r.Size() == 1 {
+		old := s.local
+		switch op {
+		case spFetchAdd:
+			s.local += val
+		case spSet:
+			s.local = val
+		}
+		return old
+	}
+	var msg [9]byte
+	msg[0] = op
+	binary.LittleEndian.PutUint64(msg[1:], uint64(val))
+	r.Send(p, 0, s.reqTag, msg[:])
+	var resp [8]byte
+	r.Recv(p, 0, s.respTag, resp[:])
+	return int64(binary.LittleEndian.Uint64(resp[:]))
+}
+
+// ReadShared reads at the shared file pointer and atomically advances it
+// (MPI_File_read_shared). Concurrent callers get disjoint regions; the
+// ordering among them is unspecified, as in MPI.
+func (f *File) ReadShared(p *sim.Proc, buf []byte) (int, error) {
+	if f.closed {
+		return 0, ErrClosed
+	}
+	off := f.spCall(p, spFetchAdd, int64(len(buf)))
+	return f.ReadAt(p, off, buf)
+}
+
+// WriteShared writes at the shared file pointer and atomically advances it
+// (MPI_File_write_shared).
+func (f *File) WriteShared(p *sim.Proc, buf []byte) (int, error) {
+	if f.closed {
+		return 0, ErrClosed
+	}
+	off := f.spCall(p, spFetchAdd, int64(len(buf)))
+	return f.WriteAt(p, off, buf)
+}
+
+// SeekShared repositions the shared pointer (collective; every rank must
+// call it with the same offset, per the MPI standard).
+func (f *File) SeekShared(p *sim.Proc, off int64) error {
+	if f.closed {
+		return ErrClosed
+	}
+	if off < 0 {
+		return ErrNegative
+	}
+	r := f.rank
+	if r == nil || r.Size() == 1 {
+		f.shared.local = off
+		return nil
+	}
+	if r.ID() == 0 {
+		f.spCall(p, spSet, off)
+	}
+	r.Barrier(p)
+	return nil
+}
+
+// orderedOffsets computes this rank's offset for an ordered collective:
+// the ranks' buffers are placed in rank order starting at the shared
+// pointer, which advances by the total.
+func (f *File) orderedOffsets(p *sim.Proc, n int) int64 {
+	r := f.rank
+	if r == nil || r.Size() == 1 {
+		return f.spCall(p, spFetchAdd, int64(n))
+	}
+	sizes := r.AllgatherU64(p, uint64(n))
+	var prefix, total int64
+	for i, s := range sizes {
+		if i < r.ID() {
+			prefix += int64(s)
+		}
+		total += int64(s)
+	}
+	var base uint64
+	if r.ID() == 0 {
+		base = uint64(f.spCall(p, spFetchAdd, total))
+	}
+	base = r.BcastU64(p, 0, base)
+	return int64(base) + prefix
+}
+
+// WriteOrdered is the collective MPI_File_write_ordered: every rank's
+// buffer lands in rank order at the shared pointer.
+func (f *File) WriteOrdered(p *sim.Proc, buf []byte) (int, error) {
+	if f.closed {
+		return 0, ErrClosed
+	}
+	off := f.orderedOffsets(p, len(buf))
+	return f.WriteAt(p, off, buf)
+}
+
+// ReadOrdered is the collective MPI_File_read_ordered.
+func (f *File) ReadOrdered(p *sim.Proc, buf []byte) (int, error) {
+	if f.closed {
+		return 0, ErrClosed
+	}
+	off := f.orderedOffsets(p, len(buf))
+	return f.ReadAt(p, off, buf)
+}

@@ -1,0 +1,383 @@
+package nfs
+
+import (
+	"dafsio/internal/fabric"
+	"dafsio/internal/kstack"
+	"dafsio/internal/model"
+	"dafsio/internal/sim"
+	"dafsio/internal/wire"
+)
+
+// Port is the server's well-known port.
+const Port = 2049
+
+// MountOptions configures a client mount.
+type MountOptions struct {
+	// RSize and WSize bound the data per READ/WRITE RPC (default 32768,
+	// a typical v3 mount of the era).
+	RSize, WSize int
+	// MaxInFlight bounds concurrent RPCs (the "biod" count; default 8).
+	MaxInFlight int
+}
+
+func (o *MountOptions) withDefaults() MountOptions {
+	out := MountOptions{RSize: 32768, WSize: 32768, MaxInFlight: 8}
+	if o != nil {
+		if o.RSize > 0 {
+			out.RSize = o.RSize
+		}
+		if o.WSize > 0 {
+			out.WSize = o.WSize
+		}
+		if o.MaxInFlight > 0 {
+			out.MaxInFlight = o.MaxInFlight
+		}
+	}
+	if out.RSize > kstack.MaxDatagram-1024 {
+		out.RSize = kstack.MaxDatagram - 1024
+	}
+	if out.WSize > kstack.MaxDatagram-1024 {
+		out.WSize = kstack.MaxDatagram - 1024
+	}
+	return out
+}
+
+// ClientStats counts mount activity.
+type ClientStats struct {
+	RPCs       int64
+	ReadBytes  int64
+	WriteBytes int64
+}
+
+// Client is one mount of an NFS server.
+type Client struct {
+	stack *kstack.Stack
+	sock  *kstack.Socket
+	prof  *model.Profile
+	k     *sim.Kernel
+
+	srvNode fabric.NodeID
+	opts    MountOptions
+
+	inflight *sim.Resource
+	pending  map[uint32]*Call
+	nextXID  uint32
+	closed   bool
+	stats    ClientStats
+}
+
+type callResult struct {
+	status Status
+	body   []byte
+	err    error
+}
+
+// Call is an in-flight RPC.
+type Call struct {
+	c   *Client
+	fut *sim.Future[callResult]
+}
+
+func (call *Call) wait(p *sim.Proc) (callResult, error) {
+	res := call.fut.Get(p)
+	if res.err != nil {
+		return res, res.err
+	}
+	return res, res.status.Err()
+}
+
+// Mount connects a client on the stack's node to the server and verifies
+// reachability with a NULL RPC.
+func Mount(p *sim.Proc, stack *kstack.Stack, srv *Server, opts *MountOptions) (*Client, error) {
+	o := opts.withDefaults()
+	sock, err := stack.Socket(0)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		stack:    stack,
+		sock:     sock,
+		prof:     srv.prof,
+		k:        srv.k,
+		srvNode:  srv.stack.Node.ID,
+		opts:     o,
+		inflight: sim.NewResource(srv.k, stack.Node.Name+".nfs.biod", o.MaxInFlight),
+		pending:  make(map[uint32]*Call),
+	}
+	c.k.SpawnDaemon(stack.Node.Name+".nfs.dispatch", c.dispatch)
+	if _, err := c.roundtrip(p, ProcNull, func(w *wire.Writer) {}); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Node returns the client's host.
+func (c *Client) Node() *fabric.Node { return c.stack.Node }
+
+// RSize returns the mount's per-RPC read bound.
+func (c *Client) RSize() int { return c.opts.RSize }
+
+// WSize returns the mount's per-RPC write bound.
+func (c *Client) WSize() int { return c.opts.WSize }
+
+// Stats returns a copy of the mount counters.
+func (c *Client) Stats() ClientStats { return c.stats }
+
+// dispatch routes RPC replies to waiting calls.
+func (c *Client) dispatch(p *sim.Proc) {
+	for {
+		dg, ok := c.sock.Recv(p)
+		if !ok {
+			return
+		}
+		hdr, body, err := decodeRPC(dg.Data)
+		if err != nil {
+			continue // malformed reply: drop
+		}
+		c.stack.Node.Compute(p, c.prof.RPCCost) // XDR decode
+		call := c.pending[hdr.XID]
+		delete(c.pending, hdr.XID)
+		if call != nil {
+			// The in-flight slot frees when the reply arrives, not when
+			// the issuer collects it — otherwise a caller pipelining more
+			// RPCs than slots would deadlock against itself.
+			c.inflight.Release(1)
+			call.fut.Set(callResult{status: hdr.Status, body: body})
+		}
+	}
+}
+
+// start issues an RPC asynchronously.
+func (c *Client) start(p *sim.Proc, proc Proc, enc func(w *wire.Writer)) (*Call, error) {
+	if c.closed {
+		return nil, ErrClosed
+	}
+	c.inflight.Acquire(p, 1)
+	c.nextXID++
+	xid := c.nextXID
+	buf := make([]byte, kstack.MaxDatagram)
+	w := wire.NewWriter(buf[rpcHeaderLen:])
+	enc(w)
+	if w.Err() != nil {
+		c.inflight.Release(1)
+		return nil, w.Err()
+	}
+	encodeRPC(buf, rpcHeader{Proc: proc, XID: xid})
+	c.stack.Node.Compute(p, c.prof.RPCCost) // XDR encode
+	call := &Call{c: c, fut: sim.NewFuture[callResult](c.k)}
+	c.pending[xid] = call
+	if err := c.sock.SendTo(p, c.srvNode, Port, buf[:rpcHeaderLen+w.Len()]); err != nil {
+		delete(c.pending, xid)
+		c.inflight.Release(1)
+		return nil, err
+	}
+	c.stats.RPCs++
+	return call, nil
+}
+
+func (c *Client) roundtrip(p *sim.Proc, proc Proc, enc func(w *wire.Writer)) (callResult, error) {
+	call, err := c.start(p, proc, enc)
+	if err != nil {
+		return callResult{}, err
+	}
+	return call.wait(p)
+}
+
+// ---- Namespace and attributes ----
+
+func (c *Client) fhAttr(p *sim.Proc, proc Proc, name string) (FH, Attr, error) {
+	res, err := c.roundtrip(p, proc, func(w *wire.Writer) { w.Str(name) })
+	if err != nil {
+		return 0, Attr{}, err
+	}
+	r := wire.NewReader(res.body)
+	fh := FH(r.U64())
+	a := Attr{Size: int64(r.U64())}
+	return fh, a, r.Err()
+}
+
+// Lookup resolves a name.
+func (c *Client) Lookup(p *sim.Proc, name string) (FH, Attr, error) {
+	return c.fhAttr(p, ProcLookup, name)
+}
+
+// Create makes a new file.
+func (c *Client) Create(p *sim.Proc, name string) (FH, Attr, error) {
+	return c.fhAttr(p, ProcCreate, name)
+}
+
+// Remove deletes a file.
+func (c *Client) Remove(p *sim.Proc, name string) error {
+	_, err := c.roundtrip(p, ProcRemove, func(w *wire.Writer) { w.Str(name) })
+	return err
+}
+
+// Rename moves a file.
+func (c *Client) Rename(p *sim.Proc, from, to string) error {
+	_, err := c.roundtrip(p, ProcRename, func(w *wire.Writer) { w.Str(from); w.Str(to) })
+	return err
+}
+
+// Getattr fetches attributes (always from the server: noac).
+func (c *Client) Getattr(p *sim.Proc, fh FH) (Attr, error) {
+	res, err := c.roundtrip(p, ProcGetattr, func(w *wire.Writer) { w.U64(uint64(fh)) })
+	if err != nil {
+		return Attr{}, err
+	}
+	r := wire.NewReader(res.body)
+	a := Attr{Size: int64(r.U64())}
+	return a, r.Err()
+}
+
+// Setattr truncates the file to size.
+func (c *Client) Setattr(p *sim.Proc, fh FH, size int64) error {
+	_, err := c.roundtrip(p, ProcSetattr, func(w *wire.Writer) { w.U64(uint64(fh)); w.U64(uint64(size)) })
+	return err
+}
+
+// Commit flushes server-side state (disk access on uncached servers).
+func (c *Client) Commit(p *sim.Proc, fh FH) error {
+	_, err := c.roundtrip(p, ProcCommit, func(w *wire.Writer) { w.U64(uint64(fh)) })
+	return err
+}
+
+// Readdir lists up to max names from cookie; next is 0 at the end.
+func (c *Client) Readdir(p *sim.Proc, cookie uint32, max int) ([]string, uint32, error) {
+	if max <= 0 || max > 0xFFFF {
+		return nil, 0, ErrInval
+	}
+	res, err := c.roundtrip(p, ProcReaddir, func(w *wire.Writer) { w.U32(cookie); w.U16(uint16(max)) })
+	if err != nil {
+		return nil, 0, err
+	}
+	r := wire.NewReader(res.body)
+	n := int(r.U16())
+	names := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		names = append(names, r.Str())
+	}
+	next := r.U32()
+	return names, next, r.Err()
+}
+
+// ---- Data path ----
+
+// IO is an in-flight data transfer (possibly multiple RPCs).
+type IO struct {
+	calls []*Call
+	bufs  [][]byte // destination slices for reads, aligned with calls
+	write bool
+	c     *Client
+}
+
+// StartRead issues pipelined READ RPCs covering buf.
+func (c *Client) StartRead(p *sim.Proc, fh FH, off int64, buf []byte) (*IO, error) {
+	io := &IO{c: c}
+	for done := 0; done < len(buf) || (len(buf) == 0 && done == 0); {
+		n := min(c.opts.RSize, len(buf)-done)
+		chunkOff := off + int64(done)
+		call, err := c.start(p, ProcRead, func(w *wire.Writer) {
+			w.U64(uint64(fh))
+			w.U64(uint64(chunkOff))
+			w.U32(uint32(n))
+		})
+		if err != nil {
+			return nil, err
+		}
+		io.calls = append(io.calls, call)
+		io.bufs = append(io.bufs, buf[done:done+n])
+		done += n
+		if n == 0 {
+			break
+		}
+	}
+	return io, nil
+}
+
+// StartWrite issues pipelined WRITE RPCs covering data.
+func (c *Client) StartWrite(p *sim.Proc, fh FH, off int64, data []byte) (*IO, error) {
+	io := &IO{c: c, write: true}
+	for done := 0; done < len(data) || (len(data) == 0 && done == 0); {
+		n := min(c.opts.WSize, len(data)-done)
+		chunkOff := off + int64(done)
+		chunk := data[done : done+n]
+		call, err := c.start(p, ProcWrite, func(w *wire.Writer) {
+			w.U64(uint64(fh))
+			w.U64(uint64(chunkOff))
+			w.Blob(chunk)
+		})
+		if err != nil {
+			return nil, err
+		}
+		io.calls = append(io.calls, call)
+		done += n
+		if n == 0 {
+			break
+		}
+	}
+	return io, nil
+}
+
+// Wait collects all chunk RPCs and returns the total byte count. A short
+// read chunk (EOF) stops the count at the first gap, like a POSIX read.
+func (io *IO) Wait(p *sim.Proc) (int, error) {
+	total := 0
+	short := false
+	for i, call := range io.calls {
+		res, err := call.wait(p)
+		if err != nil {
+			return total, err
+		}
+		r := wire.NewReader(res.body)
+		if io.write {
+			n := int(r.U32())
+			if r.Err() != nil {
+				return total, r.Err()
+			}
+			total += n
+			io.c.stats.WriteBytes += int64(n)
+			continue
+		}
+		data := r.Blob()
+		if r.Err() != nil {
+			return total, r.Err()
+		}
+		n := copy(io.bufs[i], data)
+		io.c.stats.ReadBytes += int64(n)
+		if !short {
+			total += n
+			if n < len(io.bufs[i]) {
+				short = true
+			}
+		}
+	}
+	return total, nil
+}
+
+// Read transfers up to len(buf) bytes at off (multiple RPCs as needed).
+func (c *Client) Read(p *sim.Proc, fh FH, off int64, buf []byte) (int, error) {
+	io, err := c.StartRead(p, fh, off, buf)
+	if err != nil {
+		return 0, err
+	}
+	return io.Wait(p)
+}
+
+// Write transfers data at off (multiple RPCs as needed).
+func (c *Client) Write(p *sim.Proc, fh FH, off int64, data []byte) (int, error) {
+	io, err := c.StartWrite(p, fh, off, data)
+	if err != nil {
+		return 0, err
+	}
+	return io.Wait(p)
+}
+
+// Close unmounts.
+func (c *Client) Close(p *sim.Proc) error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	c.sock.Close()
+	return nil
+}

@@ -1,0 +1,286 @@
+package nfs
+
+import (
+	"fmt"
+
+	"dafsio/internal/kstack"
+	"dafsio/internal/model"
+	"dafsio/internal/sim"
+	"dafsio/internal/storage"
+	"dafsio/internal/wire"
+)
+
+// ServerOptions configures the NFS server.
+type ServerOptions struct {
+	// Workers is the number of nfsd service threads (default 4).
+	Workers int
+	// Disk, when non-nil, makes data operations hit the backing disk.
+	Disk *storage.Disk
+}
+
+// ServerStats counts server activity.
+type ServerStats struct {
+	RPCs       int64
+	ReadBytes  int64
+	WriteBytes int64
+}
+
+// Server is an NFS server on one node.
+type Server struct {
+	stack *kstack.Stack
+	prof  *model.Profile
+	k     *sim.Kernel
+	store *storage.Store
+	disk  *storage.Disk
+
+	sock  *kstack.Socket
+	workQ *sim.Chan[kstack.Datagram]
+	stats ServerStats
+}
+
+// NewServer starts an NFS server on the stack's node, listening on the
+// well-known port.
+func NewServer(stack *kstack.Stack, prof *model.Profile, k *sim.Kernel, store *storage.Store, opts *ServerOptions) *Server {
+	workers := 4
+	var disk *storage.Disk
+	if opts != nil {
+		if opts.Workers > 0 {
+			workers = opts.Workers
+		}
+		disk = opts.Disk
+	}
+	sock, err := stack.Socket(Port)
+	if err != nil {
+		panic(fmt.Sprintf("nfs: cannot bind server port: %v", err))
+	}
+	s := &Server{
+		stack: stack, prof: prof, k: k, store: store, disk: disk,
+		sock:  sock,
+		workQ: sim.NewChan[kstack.Datagram](k, 0),
+	}
+	k.SpawnDaemon(stack.Node.Name+".nfs.listen", s.listen)
+	for i := 0; i < workers; i++ {
+		k.SpawnDaemon(fmt.Sprintf("%s.nfsd%d", stack.Node.Name, i), s.worker)
+	}
+	return s
+}
+
+// Store returns the exported store.
+func (s *Server) Store() *storage.Store { return s.store }
+
+// Stats returns a copy of the server counters.
+func (s *Server) Stats() ServerStats { return s.stats }
+
+func (s *Server) listen(p *sim.Proc) {
+	for {
+		dg, ok := s.sock.Recv(p)
+		if !ok {
+			return
+		}
+		s.workQ.Send(p, dg)
+	}
+}
+
+func (s *Server) worker(p *sim.Proc) {
+	for {
+		dg, ok := s.workQ.Recv(p)
+		if !ok {
+			return
+		}
+		s.handle(p, dg)
+	}
+}
+
+func (s *Server) handle(p *sim.Proc, dg kstack.Datagram) {
+	hdr, body, err := decodeRPC(dg.Data)
+	if err != nil {
+		return // malformed: drop, client would retransmit
+	}
+	// XDR decode + VFS dispatch.
+	s.stack.Node.Compute(p, s.prof.RPCCost+s.prof.NFSOpCost)
+	st, enc := s.exec(p, hdr.Proc, wire.NewReader(body))
+
+	out := make([]byte, kstack.MaxDatagram)
+	w := wire.NewWriter(out[rpcHeaderLen:])
+	if enc != nil {
+		enc(w)
+	}
+	if w.Err() != nil {
+		st, w = ErrsProto, wire.NewWriter(out[rpcHeaderLen:])
+	}
+	encodeRPC(out, rpcHeader{Proc: hdr.Proc, XID: hdr.XID, Status: st})
+	s.stack.Node.Compute(p, s.prof.RPCCost) // XDR encode
+	s.sock.SendTo(p, dg.Src, dg.SrcPort, out[:rpcHeaderLen+w.Len()])
+	s.stats.RPCs++
+}
+
+func stStatus(err error) Status {
+	switch err {
+	case nil:
+		return OK
+	case storage.ErrNotFound:
+		return ErrsNoEnt
+	case storage.ErrExists:
+		return ErrsExist
+	case storage.ErrBadHandle:
+		return ErrsStale
+	default:
+		return ErrsIO
+	}
+}
+
+func (s *Server) file(r *wire.Reader) (*storage.File, Status) {
+	fh := storage.FileID(r.U64())
+	if r.Err() != nil {
+		return nil, ErrsProto
+	}
+	f, err := s.store.Get(fh)
+	if err != nil {
+		return nil, ErrsStale
+	}
+	return f, OK
+}
+
+func (s *Server) exec(p *sim.Proc, proc Proc, r *wire.Reader) (Status, func(*wire.Writer)) {
+	switch proc {
+	case ProcNull:
+		return OK, nil
+
+	case ProcLookup, ProcCreate:
+		name := r.Str()
+		if r.Err() != nil {
+			return ErrsProto, nil
+		}
+		var f *storage.File
+		var err error
+		if proc == ProcLookup {
+			f, err = s.store.Lookup(name)
+		} else {
+			f, err = s.store.Create(name)
+		}
+		if err != nil {
+			return stStatus(err), nil
+		}
+		return OK, func(w *wire.Writer) { w.U64(uint64(f.ID())); w.U64(uint64(f.Size())) }
+
+	case ProcRemove:
+		name := r.Str()
+		if r.Err() != nil {
+			return ErrsProto, nil
+		}
+		return stStatus(s.store.Remove(name)), nil
+
+	case ProcRename:
+		from, to := r.Str(), r.Str()
+		if r.Err() != nil {
+			return ErrsProto, nil
+		}
+		return stStatus(s.store.Rename(from, to)), nil
+
+	case ProcGetattr:
+		f, st := s.file(r)
+		if st != OK {
+			return st, nil
+		}
+		return OK, func(w *wire.Writer) { w.U64(uint64(f.Size())) }
+
+	case ProcSetattr:
+		f, st := s.file(r)
+		size := int64(r.U64())
+		if st != OK || r.Err() != nil {
+			return bad(st, r), nil
+		}
+		f.Truncate(size)
+		return OK, nil
+
+	case ProcRead:
+		f, st := s.file(r)
+		off := int64(r.U64())
+		count := int(r.U32())
+		if st != OK || r.Err() != nil {
+			return bad(st, r), nil
+		}
+		if count < 0 || count > kstack.MaxDatagram-1024 {
+			return ErrsInval, nil
+		}
+		n := clampCount(f.Size(), off, count)
+		if s.disk != nil && n > 0 {
+			s.disk.AccessAt(p, off, n)
+		}
+		s.stats.ReadBytes += int64(n)
+		return OK, func(w *wire.Writer) {
+			w.U32(uint32(n))
+			if b := w.Need(n); b != nil {
+				f.ReadAt(b, off)
+			}
+		}
+
+	case ProcWrite:
+		f, st := s.file(r)
+		off := int64(r.U64())
+		data := r.Blob()
+		if st != OK || r.Err() != nil {
+			return bad(st, r), nil
+		}
+		if s.disk != nil && len(data) > 0 {
+			s.disk.AccessAt(p, off, len(data))
+		}
+		n := f.WriteAt(data, off)
+		s.stats.WriteBytes += int64(n)
+		return OK, func(w *wire.Writer) { w.U32(uint32(n)) }
+
+	case ProcReaddir:
+		cookie := int(r.U32())
+		maxN := int(r.U16())
+		if r.Err() != nil {
+			return ErrsProto, nil
+		}
+		names := s.store.List()
+		if cookie > len(names) {
+			cookie = len(names)
+		}
+		end := min(cookie+maxN, len(names))
+		page := names[cookie:end]
+		var next uint32
+		if end < len(names) {
+			next = uint32(end)
+		}
+		return OK, func(w *wire.Writer) {
+			w.U16(uint16(len(page)))
+			for _, n := range page {
+				w.Str(n)
+			}
+			w.U32(next)
+		}
+
+	case ProcCommit:
+		_, st := s.file(r)
+		if st != OK {
+			return st, nil
+		}
+		if s.disk != nil {
+			s.disk.Access(p, 0)
+		}
+		return OK, nil
+
+	default:
+		return ErrsProto, nil
+	}
+}
+
+func bad(st Status, r *wire.Reader) Status {
+	if r.Err() != nil {
+		return ErrsProto
+	}
+	return st
+}
+
+func clampCount(size, off int64, count int) int {
+	if off < 0 || off >= size {
+		return 0
+	}
+	if rem := size - off; int64(count) > rem {
+		return int(rem)
+	}
+	return count
+}

@@ -1,0 +1,117 @@
+package sim
+
+// Chan is a FIFO message queue between simulated processes, analogous to a
+// buffered Go channel in virtual time. A capacity <= 0 means unbounded
+// (sends never block). Message transfer itself takes zero virtual time;
+// components model transfer costs explicitly before sending.
+//
+// Wake discipline: a waiter is popped from its wait list before being woken,
+// so every park has at most one pending wake (see proc.go).
+type Chan[T any] struct {
+	k      *Kernel
+	buf    []T
+	cap    int
+	recvrs []*Proc // parked receivers, FIFO
+	sendrs []*Proc // parked senders (bounded channels only), FIFO
+	closed bool
+}
+
+// NewChan creates a channel. capacity <= 0 means unbounded.
+func NewChan[T any](k *Kernel, capacity int) *Chan[T] {
+	return &Chan[T]{k: k, cap: capacity}
+}
+
+// Len returns the number of buffered messages.
+func (c *Chan[T]) Len() int { return len(c.buf) }
+
+// Closed reports whether the channel has been closed.
+func (c *Chan[T]) Closed() bool { return c.closed }
+
+// Close marks the channel closed and wakes all parked receivers and senders.
+// Further sends panic; receives drain the buffer and then report !ok.
+func (c *Chan[T]) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for _, p := range c.recvrs {
+		c.k.wake(p)
+	}
+	c.recvrs = nil
+	for _, p := range c.sendrs {
+		c.k.wake(p)
+	}
+	c.sendrs = nil
+}
+
+// Send enqueues v, blocking p while a bounded channel is full.
+func (c *Chan[T]) Send(p *Proc, v T) {
+	for c.cap > 0 && len(c.buf) >= c.cap {
+		if c.closed {
+			panic("sim: send on closed channel")
+		}
+		c.sendrs = append(c.sendrs, p)
+		p.park()
+	}
+	if c.closed {
+		panic("sim: send on closed channel")
+	}
+	c.buf = append(c.buf, v)
+	if len(c.recvrs) > 0 {
+		w := c.recvrs[0]
+		c.recvrs = c.recvrs[1:]
+		c.k.wake(w)
+	}
+}
+
+// TrySend enqueues v without blocking; it reports false if the channel is
+// full or closed.
+func (c *Chan[T]) TrySend(v T) bool {
+	if c.closed || (c.cap > 0 && len(c.buf) >= c.cap) {
+		return false
+	}
+	c.buf = append(c.buf, v)
+	if len(c.recvrs) > 0 {
+		w := c.recvrs[0]
+		c.recvrs = c.recvrs[1:]
+		c.k.wake(w)
+	}
+	return true
+}
+
+// Recv dequeues the oldest message, blocking p while the channel is empty.
+// ok is false only when the channel is closed and drained.
+func (c *Chan[T]) Recv(p *Proc) (v T, ok bool) {
+	for len(c.buf) == 0 && !c.closed {
+		c.recvrs = append(c.recvrs, p)
+		p.park()
+	}
+	if len(c.buf) == 0 {
+		var zero T
+		return zero, false
+	}
+	v = c.buf[0]
+	c.buf = c.buf[1:]
+	if len(c.sendrs) > 0 {
+		w := c.sendrs[0]
+		c.sendrs = c.sendrs[1:]
+		c.k.wake(w)
+	}
+	return v, true
+}
+
+// TryRecv dequeues without blocking; ok is false if nothing is buffered.
+func (c *Chan[T]) TryRecv() (v T, ok bool) {
+	if len(c.buf) == 0 {
+		var zero T
+		return zero, false
+	}
+	v = c.buf[0]
+	c.buf = c.buf[1:]
+	if len(c.sendrs) > 0 {
+		w := c.sendrs[0]
+		c.sendrs = c.sendrs[1:]
+		c.k.wake(w)
+	}
+	return v, true
+}

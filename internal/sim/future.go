@@ -1,0 +1,81 @@
+package sim
+
+// Future is a one-shot value that processes can block on, used for
+// completion notification (descriptor done, RPC reply, request finished).
+type Future[T any] struct {
+	k       *Kernel
+	set     bool
+	val     T
+	waiters []*Proc
+}
+
+// NewFuture creates an unset future.
+func NewFuture[T any](k *Kernel) *Future[T] {
+	return &Future[T]{k: k}
+}
+
+// Done reports whether the value has been set.
+func (f *Future[T]) Done() bool { return f.set }
+
+// Set resolves the future and wakes all waiters. Setting twice panics:
+// completions must be delivered exactly once.
+func (f *Future[T]) Set(v T) {
+	if f.set {
+		panic("sim: future set twice")
+	}
+	f.set = true
+	f.val = v
+	for _, p := range f.waiters {
+		f.k.wake(p)
+	}
+	f.waiters = nil
+}
+
+// Get blocks p until the future resolves and returns the value.
+func (f *Future[T]) Get(p *Proc) T {
+	for !f.set {
+		f.waiters = append(f.waiters, p)
+		p.park()
+	}
+	return f.val
+}
+
+// WaitGroup counts outstanding work items in virtual time.
+type WaitGroup struct {
+	k       *Kernel
+	n       int
+	waiters []*Proc
+}
+
+// NewWaitGroup creates a WaitGroup with an initial count.
+func NewWaitGroup(k *Kernel, n int) *WaitGroup {
+	if n < 0 {
+		panic("sim: negative waitgroup count")
+	}
+	return &WaitGroup{k: k, n: n}
+}
+
+// Add adjusts the counter; it panics if the counter goes negative.
+func (w *WaitGroup) Add(delta int) {
+	w.n += delta
+	if w.n < 0 {
+		panic("sim: negative waitgroup count")
+	}
+	if w.n == 0 {
+		for _, p := range w.waiters {
+			w.k.wake(p)
+		}
+		w.waiters = nil
+	}
+}
+
+// Done decrements the counter by one.
+func (w *WaitGroup) Done() { w.Add(-1) }
+
+// Wait blocks p until the counter reaches zero.
+func (w *WaitGroup) Wait(p *Proc) {
+	for w.n > 0 {
+		w.waiters = append(w.waiters, p)
+		p.park()
+	}
+}

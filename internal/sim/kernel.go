@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// event is a closure scheduled to run at a virtual instant. Events scheduled
+// for the same instant run in the order they were scheduled (seq).
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+// Len, Less, Swap, Push and Pop implement container/heap.Interface.
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() event   { return h[0] }
+func (h *eventHeap) pop() event   { return heap.Pop(h).(event) }
+func (h *eventHeap) push(e event) { heap.Push(h, e) }
+
+// Kernel owns virtual time and the event queue. The zero value is not
+// usable; create kernels with NewKernel.
+type Kernel struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+
+	// yield is the rendezvous on which the currently running process hands
+	// control back to the kernel goroutine.
+	yield chan struct{}
+
+	procs   map[*Proc]struct{} // live (spawned, not finished) processes
+	failure error              // first panic raised inside a process
+	running bool
+}
+
+// NewKernel returns an empty kernel at virtual time zero.
+func NewKernel() *Kernel {
+	return &Kernel{
+		yield: make(chan struct{}),
+		procs: make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// At schedules fn to run in kernel context at virtual time t. Scheduling in
+// the past panics: the simulation is strictly causal.
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
+	}
+	k.seq++
+	k.events.push(event{at: t, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run d from now.
+func (k *Kernel) After(d Time, fn func()) { k.At(k.now+d, fn) }
+
+// DeadlockError reports that the event queue drained while simulated
+// processes were still parked on channels, resources, or futures.
+type DeadlockError struct {
+	Time   Time
+	Parked []string // names of parked processes
+}
+
+// Error implements error.
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at %v: %d process(es) parked: %v", e.Time, len(e.Parked), e.Parked)
+}
+
+// Run processes events until the queue is empty. It returns a non-nil error
+// if a process panicked or if processes remain parked with no pending events
+// (deadlock).
+func (k *Kernel) Run() error { return k.RunUntil(-1) }
+
+// RunUntil processes events with timestamps <= limit (limit < 0 means no
+// limit). Virtual time never advances past the last executed event.
+func (k *Kernel) RunUntil(limit Time) error {
+	if k.running {
+		panic("sim: Run called reentrantly")
+	}
+	k.running = true
+	defer func() { k.running = false }()
+	for len(k.events) > 0 {
+		if limit >= 0 && k.events.peek().at > limit {
+			return nil
+		}
+		ev := k.events.pop()
+		k.now = ev.at
+		ev.fn()
+		if k.failure != nil {
+			return k.failure
+		}
+	}
+	var names []string
+	for p := range k.procs {
+		if !p.daemon {
+			names = append(names, p.Name)
+		}
+	}
+	if len(names) > 0 {
+		sort.Strings(names)
+		return &DeadlockError{Time: k.now, Parked: names}
+	}
+	return nil
+}
+
+// MustRun runs the simulation and panics on error. Intended for examples and
+// benchmarks where an error indicates a bug in the model.
+func (k *Kernel) MustRun() {
+	if err := k.Run(); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// Proc is a simulated process: a goroutine whose execution is interleaved
+// with virtual time by the kernel. A Proc must only call simulation
+// primitives (Wait, channel operations, resource acquires...) from its own
+// goroutine; the kernel enforces single-threaded execution, so no locking is
+// needed anywhere in the simulation.
+type Proc struct {
+	Name string
+
+	k      *Kernel
+	resume chan struct{}
+	done   bool
+	daemon bool
+}
+
+// procPanic carries a panic out of a process into the kernel's error return.
+type procPanic struct {
+	proc  string
+	value any
+	stack []byte
+}
+
+// Error implements error.
+func (e *procPanic) Error() string {
+	return fmt.Sprintf("sim: process %q panicked: %v\n%s", e.proc, e.value, e.stack)
+}
+
+// Spawn creates a process running fn and schedules it to start at the
+// current virtual time. It may be called from kernel context (before Run)
+// or from another process.
+func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{Name: name, k: k, resume: make(chan struct{})}
+	k.procs[p] = struct{}{}
+	go func() {
+		<-p.resume // wait for the kernel to give us our first time slice
+		defer func() {
+			if r := recover(); r != nil {
+				if k.failure == nil {
+					k.failure = &procPanic{proc: name, value: r, stack: debug.Stack()}
+				}
+			}
+			p.done = true
+			delete(k.procs, p)
+			k.yield <- struct{}{} // final handoff back to the kernel
+		}()
+		fn(p)
+	}()
+	k.At(k.now, func() { k.step(p) })
+	return p
+}
+
+// step transfers control to p and blocks (the kernel or calling context)
+// until p blocks again or finishes. It runs in kernel context.
+func (k *Kernel) step(p *Proc) {
+	if p.done {
+		return
+	}
+	p.resume <- struct{}{}
+	<-k.yield
+}
+
+// park blocks the process until another component wakes it via k.wake. The
+// caller must have registered itself with whoever will perform the wake.
+func (p *Proc) park() {
+	p.k.yield <- struct{}{}
+	<-p.resume
+}
+
+// wake schedules p to continue at the current virtual time. It must be
+// called for a process that is parked (or about to park); the FIFO event
+// queue makes the wake order deterministic.
+func (k *Kernel) wake(p *Proc) {
+	k.At(k.now, func() { k.step(p) })
+}
+
+// Kernel returns the kernel this process belongs to.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// Wait suspends the process for d of virtual time. Negative durations are
+// treated as zero (the process still yields, giving same-instant events a
+// chance to run first).
+func (p *Proc) Wait(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	k := p.k
+	k.At(k.now+d, func() { k.step(p) })
+	p.park()
+}
+
+// WaitUntil suspends the process until virtual time t (no-op if t has
+// passed).
+func (p *Proc) WaitUntil(t Time) {
+	if t <= p.k.now {
+		return
+	}
+	p.Wait(t - p.k.now)
+}
+
+// Spawn starts a child process from within this process.
+func (p *Proc) Spawn(name string, fn func(p *Proc)) *Proc {
+	return p.k.Spawn(name, fn)
+}
+
+// SpawnDaemon starts a process that is expected to park forever (a server
+// loop). Daemons are excluded from deadlock detection: a run in which only
+// daemons remain parked terminates normally.
+func (k *Kernel) SpawnDaemon(name string, fn func(p *Proc)) *Proc {
+	p := k.Spawn(name, fn)
+	p.daemon = true
+	return p
+}

@@ -1,0 +1,70 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// Simulated processes are ordinary goroutines, but the kernel guarantees
+// that at most one of them runs at any instant: a process executes until it
+// blocks on a simulated primitive (Wait, channel receive, resource acquire),
+// at which point control returns to the kernel, which advances virtual time
+// to the next scheduled event. All wakeups that become ready at the same
+// virtual instant are delivered in FIFO order of their scheduling, so a
+// simulation produces identical results on every run regardless of the Go
+// scheduler or GOMAXPROCS.
+//
+// The kernel is the substrate for every simulated component in this
+// repository: hosts, CPUs, VIA NICs, the SAN fabric, DAFS and NFS servers,
+// and MPI ranks.
+package sim
+
+import "fmt"
+
+// Time is a point in (or a span of) virtual time, in nanoseconds.
+type Time int64
+
+// Convenient durations.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds converts a floating-point number of seconds to a Time.
+func Seconds(s float64) Time { return Time(s * float64(Second)) }
+
+// Micros converts a floating-point number of microseconds to a Time.
+func Micros(us float64) Time { return Time(us * float64(Microsecond)) }
+
+// Seconds reports t as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros reports t as a floating-point number of microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// String formats the time with a unit chosen by magnitude.
+func (t Time) String() string {
+	switch abs := max(t, -t); {
+	case abs < Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case abs < Millisecond:
+		return fmt.Sprintf("%.2fus", float64(t)/float64(Microsecond))
+	case abs < Second:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.4fs", float64(t)/float64(Second))
+	}
+}
+
+// TransferTime returns the virtual time needed to move n bytes at the given
+// rate in bytes per second. Rates must be positive; n may be zero.
+func TransferTime(n int64, bytesPerSec float64) Time {
+	if n <= 0 {
+		return 0
+	}
+	if bytesPerSec <= 0 {
+		panic("sim: TransferTime with non-positive rate")
+	}
+	t := Time(float64(n) / bytesPerSec * float64(Second))
+	if t < 1 {
+		t = 1 // at least one tick so serialization is never free
+	}
+	return t
+}

@@ -1,0 +1,148 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Chart is an ASCII rendering of one or more series over a shared category
+// axis — the "figure" form of an experiment whose table holds the numbers.
+type Chart struct {
+	Title  string
+	YLabel string
+	X      []string
+	Series []Series
+}
+
+// Series is one named line of a chart.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// seriesMarks are the per-series plot symbols; overlaps render as '*'.
+var seriesMarks = []byte{'o', 'x', '+', '#', '@', '%'}
+
+// Fprint renders the chart as a text plot with a left value axis.
+func (c *Chart) Fprint(w io.Writer) {
+	const height = 12
+	if len(c.X) == 0 || len(c.Series) == 0 {
+		return
+	}
+	ymax := 0.0
+	for _, s := range c.Series {
+		for _, v := range s.Y {
+			if v > ymax {
+				ymax = v
+			}
+		}
+	}
+	if ymax <= 0 {
+		ymax = 1
+	}
+	// Column position per x category.
+	colW := 0
+	for _, x := range c.X {
+		if len(x) > colW {
+			colW = len(x)
+		}
+	}
+	colW += 2
+	width := colW * len(c.X)
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range c.Series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		for xi, v := range s.Y {
+			if xi >= len(c.X) {
+				break
+			}
+			row := height - 1 - int(v/ymax*float64(height-1)+0.5)
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			col := xi*colW + colW/2
+			if grid[row][col] != ' ' && grid[row][col] != mark {
+				grid[row][col] = '*'
+			} else {
+				grid[row][col] = mark
+			}
+		}
+	}
+	fmt.Fprintf(w, "  %s\n", c.Title)
+	axisW := len(fmt.Sprintf("%.0f", ymax))
+	for i, line := range grid {
+		label := strings.Repeat(" ", axisW)
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%*.0f", axisW, ymax)
+		case height - 1:
+			label = fmt.Sprintf("%*d", axisW, 0)
+		}
+		fmt.Fprintf(w, "  %s |%s\n", label, strings.TrimRight(string(line), " "))
+	}
+	fmt.Fprintf(w, "  %s +%s\n", strings.Repeat(" ", axisW), strings.Repeat("-", width))
+	var xs strings.Builder
+	for _, x := range c.X {
+		fmt.Fprintf(&xs, "%-*s", colW, " "+x)
+	}
+	fmt.Fprintf(w, "  %s  %s\n", strings.Repeat(" ", axisW), strings.TrimRight(xs.String(), " "))
+	var legend []string
+	for si, s := range c.Series {
+		legend = append(legend, fmt.Sprintf("%c=%s", seriesMarks[si%len(seriesMarks)], s.Name))
+	}
+	fmt.Fprintf(w, "  %s  [%s]  (%s)\n", strings.Repeat(" ", axisW), strings.Join(legend, " "), c.YLabel)
+}
+
+// String renders the chart to a string.
+func (c *Chart) String() string {
+	var sb strings.Builder
+	c.Fprint(&sb)
+	return sb.String()
+}
+
+// numericCell parses a formatted table cell ("96.1", "54.6%", "1.76x").
+func numericCell(s string) (float64, bool) {
+	s = strings.TrimSuffix(strings.TrimSuffix(s, "%"), "x")
+	v, err := strconv.ParseFloat(s, 64)
+	return v, err == nil
+}
+
+// ChartFromTable derives a figure from a table: the first column becomes
+// the x axis and every column whose cells all parse as numbers becomes a
+// series. Returns nil when the table has no plottable series.
+func ChartFromTable(t *Table) *Chart {
+	if len(t.Rows) < 2 {
+		return nil
+	}
+	c := &Chart{Title: t.ID + " (figure)", YLabel: "per column units"}
+	for _, row := range t.Rows {
+		c.X = append(c.X, row[0])
+	}
+	for col := 1; col < len(t.Columns); col++ {
+		ys := make([]float64, 0, len(t.Rows))
+		ok := true
+		for _, row := range t.Rows {
+			v, isNum := numericCell(row[col])
+			if !isNum {
+				ok = false
+				break
+			}
+			ys = append(ys, v)
+		}
+		if ok {
+			c.Series = append(c.Series, Series{Name: t.Columns[col], Y: ys})
+		}
+	}
+	if len(c.Series) == 0 {
+		return nil
+	}
+	return c
+}

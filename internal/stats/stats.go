@@ -1,0 +1,110 @@
+// Package stats formats experiment results: fixed-width tables matching the
+// rows and series a paper's evaluation section reports, plus unit helpers.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"dafsio/internal/sim"
+)
+
+// Table is one experiment's result: a titled grid whose first column is the
+// independent variable.
+type Table struct {
+	ID      string
+	Title   string
+	Note    string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a formatted row; it must match the column count.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("stats: row has %d cells, table %q has %d columns", len(cells), t.ID, len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Fprint renders the table.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "%s — %s\n", t.ID, t.Title)
+	if t.Note != "" {
+		for _, line := range strings.Split(t.Note, "\n") {
+			fmt.Fprintf(w, "  %s\n", line)
+		}
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		var sb strings.Builder
+		for i, c := range cells {
+			if i == 0 {
+				fmt.Fprintf(&sb, "  %-*s", widths[i], c)
+			} else {
+				fmt.Fprintf(&sb, "  %*s", widths[i], c)
+			}
+		}
+		fmt.Fprintln(w, sb.String())
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	fmt.Fprintln(w)
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Fprint(&sb)
+	return sb.String()
+}
+
+// MBps computes bandwidth in MB/s (10^6 bytes) from bytes over virtual time.
+func MBps(bytes int64, d sim.Time) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) / d.Seconds() / 1e6
+}
+
+// BW formats a bandwidth value.
+func BW(mbps float64) string { return fmt.Sprintf("%.1f", mbps) }
+
+// Us formats a duration in microseconds.
+func Us(d sim.Time) string { return fmt.Sprintf("%.1f", d.Micros()) }
+
+// Pct formats a 0..1 fraction as a percentage.
+func Pct(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }
+
+// Ratio formats a speedup factor.
+func Ratio(f float64) string { return fmt.Sprintf("%.2fx", f) }
+
+// Size formats a byte count compactly (512B, 4KB, 1MB).
+func Size(n int64) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dMB", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dKB", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

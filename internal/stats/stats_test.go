@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"dafsio/internal/sim"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{
+		ID:      "T9",
+		Title:   "demo",
+		Note:    "a note",
+		Columns: []string{"size", "MB/s"},
+	}
+	tb.AddRow("4KB", "103.5")
+	tb.AddRow("64KB", "9.1")
+	out := tb.String()
+	for _, want := range []string{"T9 — demo", "a note", "size", "MB/s", "4KB", "103.5", "----"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAddRowArityPanics(t *testing.T) {
+	tb := &Table{ID: "x", Columns: []string{"a", "b"}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on wrong arity")
+		}
+	}()
+	tb.AddRow("only-one")
+}
+
+func TestMBps(t *testing.T) {
+	// 1e6 bytes in 1 second = 1 MB/s.
+	if got := MBps(1e6, sim.Second); got != 1 {
+		t.Fatalf("MBps = %v", got)
+	}
+	if got := MBps(100, 0); got != 0 {
+		t.Fatalf("MBps zero time = %v", got)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Us(1500) != "1.5" {
+		t.Errorf("Us = %q", Us(1500))
+	}
+	if Pct(0.123) != "12.3%" {
+		t.Errorf("Pct = %q", Pct(0.123))
+	}
+	if Ratio(2.5) != "2.50x" {
+		t.Errorf("Ratio = %q", Ratio(2.5))
+	}
+	cases := map[int64]string{512: "512B", 4096: "4KB", 1 << 20: "1MB", 1500: "1500B"}
+	for n, want := range cases {
+		if got := Size(n); got != want {
+			t.Errorf("Size(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestChartFromTableAndRender(t *testing.T) {
+	tb := &Table{ID: "T2", Columns: []string{"size", "dafs", "nfs", "note"}}
+	tb.AddRow("512B", "11.9", "4.0", "n/a")
+	tb.AddRow("32KB", "70.9", "41.3", "n/a")
+	tb.AddRow("1MB", "96.1", "54.8", "n/a")
+	ch := ChartFromTable(tb)
+	if ch == nil {
+		t.Fatal("no chart derived")
+	}
+	if len(ch.Series) != 2 { // "note" column is not numeric
+		t.Fatalf("series %d", len(ch.Series))
+	}
+	out := ch.String()
+	for _, want := range []string{"T2 (figure)", "o=dafs", "x=nfs", "512B", "1MB", "96 |"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestChartFromTableNeedsRowsAndNumbers(t *testing.T) {
+	tb := &Table{ID: "x", Columns: []string{"a", "b"}}
+	tb.AddRow("one", "not-a-number")
+	tb.AddRow("two", "also-not")
+	if ChartFromTable(tb) != nil {
+		t.Fatal("chart from non-numeric table")
+	}
+	single := &Table{ID: "y", Columns: []string{"a", "b"}}
+	single.AddRow("one", "1.0")
+	if ChartFromTable(single) != nil {
+		t.Fatal("chart from single-row table")
+	}
+}
+
+func TestChartSuffixedCells(t *testing.T) {
+	tb := &Table{ID: "s", Columns: []string{"x", "pct", "ratio"}}
+	tb.AddRow("a", "50.0%", "1.50x")
+	tb.AddRow("b", "99.0%", "2.25x")
+	ch := ChartFromTable(tb)
+	if ch == nil || len(ch.Series) != 2 {
+		t.Fatalf("suffixed cells not parsed: %+v", ch)
+	}
+	if ch.Series[0].Y[1] != 99.0 || ch.Series[1].Y[1] != 2.25 {
+		t.Fatalf("values wrong: %+v", ch.Series)
+	}
+}

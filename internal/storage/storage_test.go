@@ -1,0 +1,268 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"dafsio/internal/sim"
+)
+
+func TestCreateLookupRemove(t *testing.T) {
+	s := NewStore()
+	f, err := s.Create("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Create("a"); err != ErrExists {
+		t.Fatalf("duplicate create: %v", err)
+	}
+	got, err := s.Lookup("a")
+	if err != nil || got != f {
+		t.Fatalf("lookup: %v %v", got, err)
+	}
+	if _, err := s.Lookup("b"); err != ErrNotFound {
+		t.Fatalf("missing lookup: %v", err)
+	}
+	byID, err := s.Get(f.ID())
+	if err != nil || byID != f {
+		t.Fatalf("get by id: %v %v", byID, err)
+	}
+	if err := s.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(f.ID()); err != ErrBadHandle {
+		t.Fatalf("stale handle: %v", err)
+	}
+	if err := s.Remove("a"); err != ErrNotFound {
+		t.Fatalf("double remove: %v", err)
+	}
+}
+
+func TestCreateEmptyNameFails(t *testing.T) {
+	s := NewStore()
+	if _, err := s.Create(""); err == nil {
+		t.Fatal("empty name accepted")
+	}
+}
+
+func TestRename(t *testing.T) {
+	s := NewStore()
+	f, _ := s.Create("old")
+	s.Create("taken")
+	if err := s.Rename("old", "taken"); err != ErrExists {
+		t.Fatalf("rename onto existing: %v", err)
+	}
+	if err := s.Rename("missing", "x"); err != ErrNotFound {
+		t.Fatalf("rename missing: %v", err)
+	}
+	if err := s.Rename("old", "new"); err != nil {
+		t.Fatal(err)
+	}
+	if f.Name() != "new" {
+		t.Fatalf("name = %q", f.Name())
+	}
+	if _, err := s.Lookup("old"); err != ErrNotFound {
+		t.Fatal("old name still resolves")
+	}
+	if got, _ := s.Lookup("new"); got != f {
+		t.Fatal("new name does not resolve")
+	}
+}
+
+func TestListSorted(t *testing.T) {
+	s := NewStore()
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		s.Create(n)
+	}
+	got := s.List()
+	want := []string{"alpha", "mid", "zeta"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("List() = %v", got)
+		}
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len() = %d", s.Len())
+	}
+}
+
+func TestReadWriteAt(t *testing.T) {
+	s := NewStore()
+	f, _ := s.Create("f")
+	if n := f.WriteAt([]byte("hello"), 3); n != 5 {
+		t.Fatalf("WriteAt = %d", n)
+	}
+	if f.Size() != 8 {
+		t.Fatalf("size = %d", f.Size())
+	}
+	buf := make([]byte, 8)
+	if n := f.ReadAt(buf, 0); n != 8 {
+		t.Fatalf("ReadAt = %d", n)
+	}
+	if !bytes.Equal(buf, []byte{0, 0, 0, 'h', 'e', 'l', 'l', 'o'}) {
+		t.Fatalf("content %q", buf)
+	}
+	// Read past EOF.
+	if n := f.ReadAt(buf, 100); n != 0 {
+		t.Fatalf("past-EOF read = %d", n)
+	}
+	// Short read at tail.
+	if n := f.ReadAt(buf, 6); n != 2 {
+		t.Fatalf("tail read = %d", n)
+	}
+	// Negative offsets are rejected.
+	if n := f.WriteAt([]byte("x"), -1); n != 0 {
+		t.Fatalf("negative write = %d", n)
+	}
+	if n := f.ReadAt(buf, -1); n != 0 {
+		t.Fatalf("negative read = %d", n)
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	s := NewStore()
+	f, _ := s.Create("f")
+	f.WriteAt([]byte("abcdef"), 0)
+	f.Truncate(3)
+	if f.Size() != 3 {
+		t.Fatalf("size = %d", f.Size())
+	}
+	f.Truncate(6)
+	buf := make([]byte, 6)
+	f.ReadAt(buf, 0)
+	if !bytes.Equal(buf, []byte{'a', 'b', 'c', 0, 0, 0}) {
+		t.Fatalf("content %q", buf)
+	}
+	f.Truncate(-5)
+	if f.Size() != 0 {
+		t.Fatalf("size after negative truncate = %d", f.Size())
+	}
+}
+
+// Property: WriteAt then ReadAt round-trips arbitrary data at arbitrary
+// offsets.
+func TestWriteReadRoundTripProperty(t *testing.T) {
+	prop := func(data []byte, off uint16) bool {
+		s := NewStore()
+		f, _ := s.Create("f")
+		f.WriteAt(data, int64(off))
+		got := make([]byte, len(data))
+		n := f.ReadAt(got, int64(off))
+		return n == len(data) && bytes.Equal(got, data)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The file size is always the max end-offset ever written.
+func TestSizeProperty(t *testing.T) {
+	s := NewStore()
+	f, _ := s.Create("f")
+	maxEnd := int64(0)
+	offs := []int64{0, 100, 7, 4096, 50}
+	lens := []int{10, 1, 0, 300, 25}
+	for i := range offs {
+		f.WriteAt(make([]byte, lens[i]), offs[i])
+		if end := offs[i] + int64(lens[i]); end > maxEnd && lens[i] > 0 {
+			maxEnd = end
+		}
+	}
+	if f.Size() != maxEnd {
+		t.Fatalf("size %d, want %d", f.Size(), maxEnd)
+	}
+}
+
+func TestSliceZeroCopy(t *testing.T) {
+	s := NewStore()
+	f, _ := s.Create("f")
+	f.WriteAt([]byte("abcdef"), 0)
+	sl := f.Slice(2, 3)
+	if string(sl) != "cde" {
+		t.Fatalf("slice %q", sl)
+	}
+	sl[0] = 'X' // writes through to the file (buffer-cache semantics)
+	buf := make([]byte, 6)
+	f.ReadAt(buf, 0)
+	if string(buf) != "abXdef" {
+		t.Fatalf("after slice write: %q", buf)
+	}
+}
+
+func TestDiskTiming(t *testing.T) {
+	k := sim.NewKernel()
+	d := NewDisk(k, "d", 5*sim.Millisecond, 1e6) // 1 MB/s for round numbers
+	var done sim.Time
+	k.Spawn("io", func(p *sim.Proc) {
+		d.Access(p, 1e6) // 5ms seek + 1s transfer
+		done = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := 5*sim.Millisecond + sim.Second
+	if done != want {
+		t.Fatalf("disk access took %v, want %v", done, want)
+	}
+	if d.BusyTime() != want {
+		t.Fatalf("busy %v", d.BusyTime())
+	}
+}
+
+func TestDiskSerializesRequests(t *testing.T) {
+	k := sim.NewKernel()
+	d := NewDisk(k, "d", sim.Millisecond, 1e9)
+	var last sim.Time
+	for i := 0; i < 3; i++ {
+		k.Spawn("io", func(p *sim.Proc) {
+			d.Access(p, 1000)
+			if p.Now() > last {
+				last = p.Now()
+			}
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if last < 3*sim.Millisecond {
+		t.Fatalf("3 accesses finished at %v; disk arm not serialized", last)
+	}
+}
+
+func TestDiskSequentialSkipsSeek(t *testing.T) {
+	k := sim.NewKernel()
+	d := NewDisk(k, "d", 5*sim.Millisecond, 1e6)
+	var done sim.Time
+	k.Spawn("io", func(p *sim.Proc) {
+		d.AccessAt(p, 0, 1000)    // seek + 1ms
+		d.AccessAt(p, 1000, 1000) // sequential: 1ms only
+		d.AccessAt(p, 5000, 1000) // seek + 1ms
+		done = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := 2*(5*sim.Millisecond) + 3*sim.Millisecond
+	if done != want {
+		t.Fatalf("sequential disk pattern took %v, want %v", done, want)
+	}
+}
+
+func TestDiskAccessResetsPosition(t *testing.T) {
+	k := sim.NewKernel()
+	d := NewDisk(k, "d", sim.Millisecond, 1e9)
+	var done sim.Time
+	k.Spawn("io", func(p *sim.Proc) {
+		d.AccessAt(p, 0, 1000)
+		d.Access(p, 0)         // position unknown afterwards
+		d.AccessAt(p, 1000, 0) // would have been sequential, now seeks
+		done = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done < 3*sim.Millisecond {
+		t.Fatalf("position not invalidated: %v", done)
+	}
+}

@@ -1,0 +1,194 @@
+package via
+
+import (
+	"testing"
+
+	"dafsio/internal/model"
+	"dafsio/internal/sim"
+)
+
+func TestVIErrorStateBlocksPostSend(t *testing.T) {
+	p2 := newPair(model.CLAN1998())
+	p2.k.Spawn("send", func(p *sim.Proc) {
+		r := p2.nicA.Register(p, make([]byte, 8))
+		// First send hits an empty receive queue -> VI error at peer, and
+		// the sender's completion reports the underrun.
+		p2.viA.PostSend(p, &Descriptor{Op: OpSend, Region: r, Len: 8})
+		if c := p2.viA.SendCQ.Wait(p); c.Err != ErrRecvUnderrun {
+			t.Errorf("first send err: %v", c.Err)
+		}
+		// Posting a receive on the broken peer VI fails all queued recvs;
+		// a subsequent send into the erred VI again reports an error.
+		p2.viA.PostSend(p, &Descriptor{Op: OpSend, Region: r, Len: 8})
+		if c := p2.viA.SendCQ.Wait(p); c.Err == nil {
+			t.Error("send into erred VI succeeded")
+		}
+	})
+	if err := p2.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if p2.viB.Err() == nil {
+		t.Fatal("peer VI not in error state")
+	}
+}
+
+func TestErrorVIFailsPostedRecvs(t *testing.T) {
+	p2 := newPair(model.CLAN1998())
+	p2.k.Spawn("recv", func(p *sim.Proc) {
+		r := p2.nicB.Register(p, make([]byte, 64))
+		// One recv posted; two messages arrive; the second underruns,
+		// failing the VI.
+		p2.viB.PostRecv(p, &Descriptor{Region: r, Len: 64})
+		c1 := p2.viB.RecvCQ.Wait(p)
+		if c1.Err != nil {
+			t.Errorf("first recv: %v", c1.Err)
+		}
+		// After the error, newly posted receives complete with errors
+		// when the VI is already failed... post and observe state.
+		if p2.viB.Err() == nil {
+			// The error may arrive after this check; wait for the
+			// second message's effect by idling.
+			p.Wait(sim.Millisecond)
+		}
+		if p2.viB.Err() == nil {
+			t.Error("VI not failed after underrun")
+		}
+	})
+	p2.k.Spawn("send", func(p *sim.Proc) {
+		r := p2.nicA.Register(p, make([]byte, 64))
+		p2.viA.PostSend(p, &Descriptor{Op: OpSend, Region: r, Len: 64})
+		p2.viA.SendCQ.Wait(p)
+		p2.viA.PostSend(p, &Descriptor{Op: OpSend, Region: r, Len: 64})
+		p2.viA.SendCQ.Wait(p)
+	})
+	if err := p2.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCQPoll(t *testing.T) {
+	p2 := newPair(model.CLAN1998())
+	p2.k.Spawn("app", func(p *sim.Proc) {
+		if _, ok := p2.viA.SendCQ.Poll(); ok {
+			t.Error("poll on empty CQ returned a completion")
+		}
+		r := p2.nicA.Register(p, make([]byte, 8))
+		rb := p2.nicB.Register(p, make([]byte, 8))
+		p2.viB.PostRecv(p, &Descriptor{Region: rb, Len: 8})
+		p2.viA.PostSend(p, &Descriptor{Op: OpSend, Region: r, Len: 8})
+		p.Wait(sim.Millisecond) // let it complete
+		if c, ok := p2.viA.SendCQ.Poll(); !ok || c.Err != nil {
+			t.Errorf("poll after completion: ok=%v err=%v", ok, c.Err)
+		}
+		if p2.viA.SendCQ.Len() != 0 {
+			t.Error("CQ not drained")
+		}
+	})
+	if err := p2.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrepostRecvValidation(t *testing.T) {
+	p2 := newPair(model.CLAN1998())
+	p2.k.Spawn("app", func(p *sim.Proc) {
+		rB := p2.nicB.Register(p, make([]byte, 8))
+		if err := p2.viA.PrepostRecv(&Descriptor{Region: rB, Len: 8}); err != ErrInvalidRegion {
+			t.Errorf("foreign region: %v", err)
+		}
+		rA := p2.nicA.Register(p, make([]byte, 8))
+		if err := p2.viA.PrepostRecv(&Descriptor{Region: rA, Offset: 4, Len: 8}); err != ErrBounds {
+			t.Errorf("bounds: %v", err)
+		}
+		if err := p2.viA.PrepostRecv(&Descriptor{Region: rA, Len: 8}); err != nil {
+			t.Errorf("valid prepost: %v", err)
+		}
+	})
+	if err := p2.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRDMAStatsCounted(t *testing.T) {
+	p2 := newPair(model.CLAN1998())
+	ready := sim.NewFuture[MemHandle](p2.k)
+	p2.k.Spawn("b", func(p *sim.Proc) {
+		r := p2.nicB.Register(p, make([]byte, 4096))
+		ready.Set(r.Handle)
+	})
+	p2.k.Spawn("a", func(p *sim.Proc) {
+		h := ready.Get(p)
+		r := p2.nicA.Register(p, make([]byte, 4096))
+		p2.viA.PostSend(p, &Descriptor{Op: OpRDMAWrite, Region: r, Len: 4096, RemoteHandle: h})
+		p2.viA.SendCQ.Wait(p)
+		p2.viA.PostSend(p, &Descriptor{Op: OpRDMARead, Region: r, Len: 4096, RemoteHandle: h})
+		p2.viA.SendCQ.Wait(p)
+	})
+	if err := p2.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := p2.nicA.Stats()
+	if st.RDMAWrites != 1 || st.RDMAReads != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestDeregisterInvalidatesInFlightUse(t *testing.T) {
+	// Posting with a just-deregistered region is rejected at the doorbell.
+	p2 := newPair(model.CLAN1998())
+	p2.k.Spawn("a", func(p *sim.Proc) {
+		r := p2.nicA.Register(p, make([]byte, 64))
+		p2.nicA.Deregister(p, r)
+		if r.Valid() {
+			t.Error("region still valid")
+		}
+		if err := p2.viA.PostSend(p, &Descriptor{Op: OpSend, Region: r, Len: 8}); err != ErrInvalidRegion {
+			t.Errorf("post with dead region: %v", err)
+		}
+		// Deregistering twice is harmless.
+		p2.nicA.Deregister(p, r)
+	})
+	if err := p2.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoopbackVIRejected(t *testing.T) {
+	p2 := newPair(model.CLAN1998())
+	cq := p2.nicA.NewCQ("x")
+	v1 := p2.nicA.NewVI(cq, cq)
+	v2 := p2.nicA.NewVI(cq, cq)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("loopback connect did not panic")
+		}
+	}()
+	Connect(v1, v2)
+}
+
+func TestForeignCQRejected(t *testing.T) {
+	p2 := newPair(model.CLAN1998())
+	cqB := p2.nicB.NewCQ("b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("foreign CQ did not panic")
+		}
+	}()
+	p2.nicA.NewVI(cqB, cqB)
+}
+
+func TestDoubleConnectPanics(t *testing.T) {
+	p2 := newPair(model.CLAN1998())
+	cqA := p2.nicA.NewCQ("a2")
+	cqB := p2.nicB.NewCQ("b2")
+	v1 := p2.nicA.NewVI(cqA, cqA)
+	v2 := p2.nicB.NewVI(cqB, cqB)
+	Connect(v1, v2)
+	v3 := p2.nicB.NewVI(cqB, cqB)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double connect did not panic")
+		}
+	}()
+	Connect(v1, v3)
+}

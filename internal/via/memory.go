@@ -1,0 +1,81 @@
+package via
+
+import "dafsio/internal/sim"
+
+// MemHandle is the protection tag a NIC hands out for a registered region.
+// Remote peers must present a valid handle (and stay within its bounds) for
+// RDMA access — this is the VIA memory-protection model.
+type MemHandle uint32
+
+// Region is a registered (pinned, NIC-translatable) memory area. Local
+// descriptors and remote RDMA operations may only touch registered memory.
+type Region struct {
+	Handle MemHandle
+
+	nic   *NIC
+	buf   []byte
+	valid bool
+}
+
+// Register pins buf and installs its translation on the NIC. The
+// registration cost (pinning plus NIC table update) is charged to the host
+// CPU in the calling process — the cost the paper's registration-cache
+// experiment measures.
+func (n *NIC) Register(p *sim.Proc, buf []byte) *Region {
+	n.Node.Compute(p, n.prov.Prof.RegCost(len(buf)))
+	n.nextHandle++
+	r := &Region{Handle: n.nextHandle, nic: n, buf: buf, valid: true}
+	n.regions[r.Handle] = r
+	return r
+}
+
+// Deregister releases the registration. Outstanding descriptors that still
+// reference the region will complete with ErrInvalidRegion.
+func (n *NIC) Deregister(p *sim.Proc, r *Region) {
+	if r.nic != n || !r.valid {
+		return
+	}
+	n.Node.Compute(p, n.prov.Prof.MemDeregCost)
+	r.valid = false
+	delete(n.regions, r.Handle)
+}
+
+// RegisterCached installs a registration with no CPU cost, modeling memory
+// that was pinned and registered ahead of time — the way a DAFS server
+// pre-registers its buffer cache at boot so per-request registration never
+// appears on the data path. Use DropCached to release it.
+func (n *NIC) RegisterCached(buf []byte) *Region {
+	n.nextHandle++
+	r := &Region{Handle: n.nextHandle, nic: n, buf: buf, valid: true}
+	n.regions[r.Handle] = r
+	return r
+}
+
+// DropCached releases a RegisterCached region without CPU cost.
+func (n *NIC) DropCached(r *Region) {
+	if r.nic != n || !r.valid {
+		return
+	}
+	r.valid = false
+	delete(n.regions, r.Handle)
+}
+
+// Len returns the region's size in bytes.
+func (r *Region) Len() int { return len(r.buf) }
+
+// Bytes exposes the underlying memory so the application can fill or read
+// it, the way a user buffer is used around VIA operations.
+func (r *Region) Bytes() []byte { return r.buf }
+
+// Valid reports whether the region is still registered.
+func (r *Region) Valid() bool { return r.valid }
+
+// lookup validates a remote handle and byte range; it returns the region
+// only if the whole range is inside it.
+func (n *NIC) lookup(h MemHandle, off, length int) *Region {
+	r := n.regions[h]
+	if r == nil || !r.valid || off < 0 || length < 0 || off+length > len(r.buf) {
+		return nil
+	}
+	return r
+}

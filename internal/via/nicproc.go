@@ -1,0 +1,326 @@
+package via
+
+import (
+	"dafsio/internal/fabric"
+	"dafsio/internal/sim"
+)
+
+// cellKind discriminates the frame types a VIA NIC puts on the wire.
+type cellKind uint8
+
+const (
+	ckSend      cellKind = iota // two-sided send data
+	ckRDMAWrite                 // one-sided write data
+	ckReadReq                   // RDMA read request (control only)
+	ckReadResp                  // RDMA read response data
+	ckAck                       // delivery acknowledgement (reliable mode)
+)
+
+// cell is the NIC's wire unit. Large messages are segmented into cells of
+// at most Profile.CellSize (including CellHeader) so DMA and link stages
+// pipeline within a message.
+type cell struct {
+	kind  cellKind
+	src   fabric.NodeID
+	dst   fabric.NodeID
+	dstVI int
+
+	msgID uint64
+	off   int
+	n     int
+	total int
+	last  bool
+	data  []byte
+
+	// RDMA addressing.
+	rhandle MemHandle
+	raddr   int
+	rlen    int
+	token   uint64
+
+	errCode uint8
+}
+
+// Wire error codes carried in acks and read responses.
+const (
+	ecOK uint8 = iota
+	ecProtection
+	ecUnderrun
+	ecTooSmall
+	ecInvalidVI
+)
+
+func codeOf(err error) uint8 {
+	switch err {
+	case nil:
+		return ecOK
+	case ErrRecvUnderrun:
+		return ecUnderrun
+	case ErrRecvTooSmall:
+		return ecTooSmall
+	case ErrNotConnected:
+		return ecInvalidVI
+	default:
+		return ecProtection
+	}
+}
+
+func errOf(code uint8) error {
+	switch code {
+	case ecOK:
+		return nil
+	case ecUnderrun:
+		return ErrRecvUnderrun
+	case ecTooSmall:
+		return ErrRecvTooSmall
+	case ecInvalidVI:
+		return ErrNotConnected
+	default:
+		return ErrProtection
+	}
+}
+
+// sendLoop is the NIC's descriptor-processing engine: it pops posted send
+// descriptors in doorbell order and drives the host-to-NIC DMA stage.
+func (n *NIC) sendLoop(p *sim.Proc) {
+	prof := n.prov.Prof
+	for {
+		d, ok := n.sendWork.Recv(p)
+		if !ok {
+			return
+		}
+		p.Wait(prof.DescProcess)
+		switch d.Op {
+		case OpSend:
+			n.streamOut(p, d, ckSend, d.vi.peerNode, d.vi.peerVI, true)
+		case OpRDMAWrite:
+			n.streamOut(p, d, ckRDMAWrite, d.vi.peerNode, d.vi.peerVI, true)
+		case opReadResp:
+			n.streamOut(p, d, ckReadResp, d.respDst, 0, false)
+		case OpRDMARead:
+			n.readSeq++
+			d.token = n.readSeq
+			n.pendReads[d.token] = d
+			n.txQ.Send(p, cell{
+				kind: ckReadReq, dst: d.vi.peerNode, dstVI: d.vi.peerVI,
+				token: d.token, rhandle: d.RemoteHandle, raddr: d.RemoteOffset, rlen: d.Len,
+			})
+		default:
+			panic("via: bad op on send queue")
+		}
+	}
+}
+
+// streamOut segments a descriptor's buffer into cells, paying the DMA cost
+// per cell and handing cells to the transmit stage. When tracked is true
+// the descriptor completes later, on the delivery ack.
+func (n *NIC) streamOut(p *sim.Proc, d *Descriptor, kind cellKind, dst fabric.NodeID, dstVI int, tracked bool) {
+	prof := n.prov.Prof
+	if !d.Region.valid {
+		if tracked {
+			d.vi.SendCQ.deliver(p, Completion{VI: d.vi, Desc: d, Op: d.Op, Err: ErrInvalidRegion})
+		}
+		return
+	}
+	n.msgSeq++
+	msgID := n.msgSeq
+	if tracked {
+		n.pendSends[msgID] = d
+	}
+	cellData := prof.CellSize - prof.CellHeader
+	total := d.Len
+	off := 0
+	for {
+		nb := min(cellData, total-off)
+		n.txDMA.Acquire(p, 1)
+		p.Wait(prof.DMASetup + sim.TransferTime(int64(nb), prof.DMABandwidth))
+		n.txDMA.Release(1)
+		data := make([]byte, nb)
+		copy(data, d.Region.buf[d.Offset+off:d.Offset+off+nb])
+		last := off+nb >= total
+		c := cell{
+			kind: kind, dst: dst, dstVI: dstVI,
+			msgID: msgID, off: off, n: nb, total: total, last: last, data: data,
+		}
+		switch kind {
+		case ckRDMAWrite:
+			c.rhandle, c.raddr = d.RemoteHandle, d.RemoteOffset
+		case ckReadResp:
+			c.token = d.token
+		}
+		n.stats.CellsOut++
+		n.stats.BytesOut += int64(nb)
+		n.txQ.Send(p, c)
+		off += nb
+		if last {
+			return
+		}
+	}
+}
+
+// txLoop serializes cells onto the node's transmit link.
+func (n *NIC) txLoop(p *sim.Proc) {
+	prof := n.prov.Prof
+	for {
+		c, ok := n.txQ.Recv(p)
+		if !ok {
+			return
+		}
+		n.Node.Send(p, fabric.Frame{Dst: c.dst, Bytes: c.n + prof.CellHeader, Payload: c})
+	}
+}
+
+// recvLoop drains the NIC's receive queue and dispatches cells.
+func (n *NIC) recvLoop(p *sim.Proc) {
+	for {
+		fr, ok := n.iface.Recv(p)
+		if !ok {
+			return
+		}
+		c := fr.Payload.(cell)
+		c.src = fr.Src
+		switch c.kind {
+		case ckSend:
+			n.handleSend(p, c)
+		case ckRDMAWrite:
+			n.handleRDMAWrite(p, c)
+		case ckReadReq:
+			n.handleReadReq(p, c)
+		case ckReadResp:
+			n.handleReadResp(p, c)
+		case ckAck:
+			n.handleAck(p, c)
+		}
+	}
+}
+
+// dmaIn charges the NIC-to-host DMA stage for nb payload bytes.
+func (n *NIC) dmaIn(p *sim.Proc, nb int) {
+	prof := n.prov.Prof
+	n.rxDMA.Acquire(p, 1)
+	p.Wait(prof.DMASetup + sim.TransferTime(int64(nb), prof.DMABandwidth))
+	n.rxDMA.Release(1)
+}
+
+func (n *NIC) handleSend(p *sim.Proc, c cell) {
+	key := reasmKey{c.src, c.msgID}
+	st := n.reasm[key]
+	if st == nil {
+		st = &reasmState{}
+		n.reasm[key] = st
+		if c.dstVI < 0 || c.dstVI >= len(n.vis) {
+			st.err = ErrNotConnected
+		} else {
+			vi := n.vis[c.dstVI]
+			st.vi = vi
+			switch {
+			case vi.errState != nil:
+				st.err = ErrVIError
+			case len(vi.recvQ) == 0:
+				vi.enterError(p, ErrRecvUnderrun)
+				st.err = ErrRecvUnderrun
+			default:
+				d := vi.recvQ[0]
+				vi.recvQ = vi.recvQ[1:]
+				st.desc = d
+				if d.Len < c.total {
+					st.err = ErrRecvTooSmall
+				}
+			}
+		}
+	}
+	if st.desc != nil && st.err == nil && c.n > 0 {
+		n.dmaIn(p, c.n)
+		copy(st.desc.buf()[c.off:], c.data)
+		n.stats.CellsIn++
+		n.stats.BytesIn += int64(c.n)
+	}
+	st.got += c.n
+	if !c.last {
+		return
+	}
+	delete(n.reasm, key)
+	if st.desc != nil {
+		p.Wait(n.prov.Prof.CompletionCost)
+		st.vi.RecvCQ.deliver(p, Completion{VI: st.vi, Desc: st.desc, Op: OpRecv, Len: c.total, Err: st.err})
+	}
+	n.txQ.Send(p, cell{kind: ckAck, dst: c.src, msgID: c.msgID, errCode: codeOf(st.err)})
+}
+
+func (n *NIC) handleRDMAWrite(p *sim.Proc, c cell) {
+	key := reasmKey{c.src, c.msgID}
+	st := n.reasm[key]
+	if st == nil {
+		st = &reasmState{}
+		n.reasm[key] = st
+		if r := n.lookup(c.rhandle, c.raddr, c.total); r != nil {
+			st.region = r
+		} else {
+			st.err = ErrProtection
+		}
+	}
+	if st.region != nil && st.err == nil && c.n > 0 {
+		n.dmaIn(p, c.n)
+		copy(st.region.buf[c.raddr+c.off:], c.data)
+		n.stats.CellsIn++
+		n.stats.BytesIn += int64(c.n)
+	}
+	if !c.last {
+		return
+	}
+	delete(n.reasm, key)
+	n.txQ.Send(p, cell{kind: ckAck, dst: c.src, msgID: c.msgID, errCode: codeOf(st.err)})
+}
+
+func (n *NIC) handleAck(p *sim.Proc, c cell) {
+	d, ok := n.pendSends[c.msgID]
+	if !ok {
+		return
+	}
+	delete(n.pendSends, c.msgID)
+	p.Wait(n.prov.Prof.CompletionCost)
+	d.vi.SendCQ.deliver(p, Completion{VI: d.vi, Desc: d, Op: d.Op, Len: d.Len, Err: errOf(c.errCode)})
+}
+
+func (n *NIC) handleReadReq(p *sim.Proc, c cell) {
+	r := n.lookup(c.rhandle, c.raddr, c.rlen)
+	if r == nil {
+		n.txQ.Send(p, cell{
+			kind: ckReadResp, dst: c.src, token: c.token,
+			total: 0, last: true, errCode: ecProtection,
+		})
+		return
+	}
+	// The NIC serves the read autonomously: queue an internal descriptor
+	// that streams the requested range back. No host CPU is involved on
+	// this side — the essence of one-sided RDMA.
+	n.sendWork.TrySend(&Descriptor{
+		Op: opReadResp, Region: r, Offset: c.raddr, Len: c.rlen,
+		token: c.token, respDst: c.src,
+	})
+}
+
+func (n *NIC) handleReadResp(p *sim.Proc, c cell) {
+	d, ok := n.pendReads[c.token]
+	if !ok {
+		return
+	}
+	if c.errCode != ecOK {
+		delete(n.pendReads, c.token)
+		p.Wait(n.prov.Prof.CompletionCost)
+		d.vi.SendCQ.deliver(p, Completion{VI: d.vi, Desc: d, Op: OpRDMARead, Err: errOf(c.errCode)})
+		return
+	}
+	if c.n > 0 {
+		n.dmaIn(p, c.n)
+		copy(d.buf()[c.off:], c.data)
+		n.stats.CellsIn++
+		n.stats.BytesIn += int64(c.n)
+	}
+	if !c.last {
+		return
+	}
+	delete(n.pendReads, c.token)
+	p.Wait(n.prov.Prof.CompletionCost)
+	d.vi.SendCQ.deliver(p, Completion{VI: d.vi, Desc: d, Op: OpRDMARead, Len: d.Len, Err: nil})
+}

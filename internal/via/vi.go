@@ -1,0 +1,211 @@
+package via
+
+import (
+	"fmt"
+
+	"dafsio/internal/fabric"
+	"dafsio/internal/sim"
+)
+
+// Descriptor describes one data-transfer operation on a VI work queue.
+// Buffers are expressed as (Region, Offset, Len) so the NIC can enforce the
+// VIA protection model; RDMA operations additionally name remote memory by
+// (RemoteHandle, RemoteOffset) — a token the peer must have communicated
+// out of band (in DAFS, inside the request message).
+type Descriptor struct {
+	Op     Op
+	Region *Region
+	Offset int
+	Len    int
+
+	// RDMA target (OpRDMAWrite: where to put; OpRDMARead: where to fetch).
+	RemoteHandle MemHandle
+	RemoteOffset int
+
+	// Ctx is an opaque cookie returned in the completion.
+	Ctx any
+
+	vi      *VI
+	token   uint64
+	respDst fabric.NodeID // internal: destination of an RDMA read response
+}
+
+func (d *Descriptor) buf() []byte { return d.Region.buf[d.Offset : d.Offset+d.Len] }
+
+// Completion reports the outcome of a descriptor.
+type Completion struct {
+	VI   *VI
+	Desc *Descriptor
+	Op   Op
+	Len  int // bytes transferred (receives: actual message length)
+	Err  error
+	At   sim.Time
+}
+
+// CQ is a completion queue. Waiting on an empty CQ models a blocking wait:
+// the waiter is descheduled and pays the wakeup latency when a completion
+// arrives (VIA's "notify" mode).
+type CQ struct {
+	Name string
+
+	nic *NIC
+	ch  *sim.Chan[Completion]
+}
+
+// NewCQ creates a completion queue on the NIC.
+func (n *NIC) NewCQ(name string) *CQ {
+	return &CQ{Name: name, nic: n, ch: sim.NewChan[Completion](n.prov.K, 0)}
+}
+
+// Wait blocks until a completion is available. If the process had to sleep,
+// it is charged the wakeup latency on its host CPU.
+func (cq *CQ) Wait(p *sim.Proc) Completion {
+	if c, ok := cq.ch.TryRecv(); ok {
+		return c
+	}
+	c, ok := cq.ch.Recv(p)
+	if !ok {
+		panic("via: CQ closed")
+	}
+	cq.nic.Node.Compute(p, cq.nic.prov.Prof.WakeupLatency)
+	return c
+}
+
+// Poll returns a completion without blocking.
+func (cq *CQ) Poll() (Completion, bool) { return cq.ch.TryRecv() }
+
+// Len returns the number of undelivered completions.
+func (cq *CQ) Len() int { return cq.ch.Len() }
+
+func (cq *CQ) deliver(p *sim.Proc, c Completion) {
+	c.At = cq.nic.prov.K.Now()
+	cq.ch.Send(p, c)
+}
+
+// VI is a Virtual Interface: a connected pair of work queues. Send-side
+// completions (sends, RDMA writes, RDMA reads) go to SendCQ; matched
+// receives go to RecvCQ.
+type VI struct {
+	ID     int
+	NIC    *NIC
+	SendCQ *CQ
+	RecvCQ *CQ
+
+	peerNode  fabric.NodeID
+	peerVI    int
+	connected bool
+	errState  error
+
+	recvQ []*Descriptor
+}
+
+// NewVI creates an unconnected VI using the given completion queues (which
+// may be shared across VIs, as VIA allows).
+func (n *NIC) NewVI(sendCQ, recvCQ *CQ) *VI {
+	if sendCQ.nic != n || recvCQ.nic != n {
+		panic("via: CQ belongs to a different NIC")
+	}
+	vi := &VI{ID: len(n.vis), NIC: n, SendCQ: sendCQ, RecvCQ: recvCQ}
+	n.vis = append(n.vis, vi)
+	return vi
+}
+
+// Connect pairs two VIs (the simulation's out-of-band connection manager).
+// Both must be unconnected.
+func Connect(a, b *VI) {
+	if a.connected || b.connected {
+		panic("via: VI already connected")
+	}
+	if a.NIC == b.NIC {
+		panic("via: loopback VI pairs are not supported")
+	}
+	a.peerNode, a.peerVI = b.NIC.Node.ID, b.ID
+	b.peerNode, b.peerVI = a.NIC.Node.ID, a.ID
+	a.connected, b.connected = true, true
+}
+
+// Connected reports whether the VI has a peer.
+func (vi *VI) Connected() bool { return vi.connected }
+
+// Err returns the VI's sticky error state (receive underrun etc.).
+func (vi *VI) Err() error { return vi.errState }
+
+// PostRecv posts a receive descriptor. Receives match incoming sends in
+// FIFO order; per VIA, descriptors must be posted before the matching
+// message arrives or the VI enters the error state.
+func (vi *VI) PostRecv(p *sim.Proc, d *Descriptor) error {
+	if err := vi.checkDesc(d); err != nil {
+		return err
+	}
+	d.Op = OpRecv
+	d.vi = vi
+	vi.NIC.Node.Compute(p, vi.NIC.prov.Prof.DoorbellCost)
+	vi.recvQ = append(vi.recvQ, d)
+	vi.NIC.stats.RecvsPosted++
+	return nil
+}
+
+// PrepostRecv posts a receive descriptor with no CPU cost, for buffers set
+// up at initialization time (library bounce pools posted at startup, before
+// any timed activity).
+func (vi *VI) PrepostRecv(d *Descriptor) error {
+	if err := vi.checkDesc(d); err != nil {
+		return err
+	}
+	d.Op = OpRecv
+	d.vi = vi
+	vi.recvQ = append(vi.recvQ, d)
+	vi.NIC.stats.RecvsPosted++
+	return nil
+}
+
+// PostSend posts a send-side descriptor (OpSend, OpRDMAWrite or OpRDMARead).
+// The calling process pays only the doorbell cost; the NIC performs the
+// transfer asynchronously and delivers a completion to SendCQ.
+func (vi *VI) PostSend(p *sim.Proc, d *Descriptor) error {
+	if !vi.connected {
+		return ErrNotConnected
+	}
+	if vi.errState != nil {
+		return ErrVIError
+	}
+	if err := vi.checkDesc(d); err != nil {
+		return err
+	}
+	switch d.Op {
+	case OpSend:
+		vi.NIC.stats.SendsPosted++
+	case OpRDMAWrite:
+		vi.NIC.stats.RDMAWrites++
+	case OpRDMARead:
+		vi.NIC.stats.RDMAReads++
+	default:
+		return fmt.Errorf("via: PostSend with op %v", d.Op)
+	}
+	d.vi = vi
+	vi.NIC.Node.Compute(p, vi.NIC.prov.Prof.DoorbellCost)
+	vi.NIC.sendWork.Send(p, d)
+	return nil
+}
+
+func (vi *VI) checkDesc(d *Descriptor) error {
+	if d.Region == nil || d.Region.nic != vi.NIC || !d.Region.valid {
+		return ErrInvalidRegion
+	}
+	if d.Offset < 0 || d.Len < 0 || d.Offset+d.Len > len(d.Region.buf) {
+		return ErrBounds
+	}
+	return nil
+}
+
+// enterError puts the VI in the sticky error state and fails all posted
+// receives.
+func (vi *VI) enterError(p *sim.Proc, err error) {
+	if vi.errState == nil {
+		vi.errState = err
+	}
+	for _, d := range vi.recvQ {
+		vi.RecvCQ.deliver(p, Completion{VI: vi, Desc: d, Op: OpRecv, Err: err})
+	}
+	vi.recvQ = nil
+}
