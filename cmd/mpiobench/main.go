@@ -1,4 +1,4 @@
-// Command mpiobench regenerates the evaluation tables (T1-T10): for each
+// Command mpiobench regenerates the evaluation tables (T1-T15): for each
 // experiment it builds a fresh simulated cluster, runs the workload, and
 // prints the table. Results are deterministic: a given binary prints
 // identical numbers on every run.

@@ -42,6 +42,7 @@ var All = []Experiment{
 	{"T12", "Faster networks widen the gap (future-work projection)", T12FasterNetworks},
 	{"T13", "Commodity gigabit-Ethernet profile", T13GbEProfile},
 	{"T14", "Disk-bound server: transports converge (negative result)", T14DiskBound},
+	{"T15", "Striped aggregate bandwidth: clients x servers", T15StripedScaling},
 }
 
 // ByID finds an experiment.

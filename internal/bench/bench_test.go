@@ -32,8 +32,8 @@ func TestRegistryComplete(t *testing.T) {
 			t.Fatalf("ByID(%s) = nil", e.ID)
 		}
 	}
-	if len(All) != 14 {
-		t.Fatalf("expected 14 experiments, have %d", len(All))
+	if len(All) != 15 {
+		t.Fatalf("expected 15 experiments, have %d", len(All))
 	}
 	if ByID("T99") != nil {
 		t.Fatal("ByID invented an experiment")
@@ -104,5 +104,36 @@ func TestDeterministicTables(t *testing.T) {
 	b := T9Overlap().String()
 	if a != b {
 		t.Fatalf("experiment not deterministic:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestT15Deterministic holds the striped driver's parallel stripe dispatch
+// to the same discipline: two runs of T15 must print byte-identical
+// tables. -short runs a reduced grid that still exercises multi-client,
+// multi-server dispatch.
+func TestT15Deterministic(t *testing.T) {
+	run := func() string { return T15StripedScaling().String() }
+	if testing.Short() {
+		run = func() string { return t15Table([]int{2}, []int{2}).String() }
+	}
+	a := run()
+	b := run()
+	if a != b {
+		t.Fatalf("T15 not deterministic:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestT15Shape validates the refactor's point: at 8 clients, 4 servers
+// must deliver at least 3x the single-server read ceiling, and adding
+// servers must never hurt.
+func TestT15Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full T15 grid in -short mode")
+	}
+	tbl := t15Table([]int{8}, []int{1, 4})
+	one := cellOf(t, tbl.Rows, 0, 1)
+	four := cellOf(t, tbl.Rows, 0, 2)
+	if four < 3*one {
+		t.Errorf("striping does not scale: 1 server %.1f MB/s, 4 servers %.1f MB/s (< 3x)", one, four)
 	}
 }

@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"dafsio/internal/cluster"
+	"dafsio/internal/layout"
+	"dafsio/internal/mpiio"
+	"dafsio/internal/sim"
+	"dafsio/internal/stats"
+)
+
+// Striping parameters for T15: 64KB stripes, so a 256KB request fans out
+// as one full stripe per server at width 4.
+const (
+	stripeSize  = 64 << 10
+	stripeChunk = 256 << 10
+	stripePer   = 4 << 20 // bytes each client moves
+)
+
+// prefillStriped populates every server's stripe object of a dense n-byte
+// file directly (zero simulated time), the striped analogue of prefill.
+func prefillStriped(c *cluster.Cluster, name string, n int64, st layout.Striping) {
+	pat := make([]byte, 64<<10)
+	for i := range pat {
+		pat[i] = byte(i)
+	}
+	for srv, size := range st.ObjectSizes(n) {
+		f, err := c.Stores[srv].Create(name)
+		if err != nil {
+			panic(err)
+		}
+		for off := int64(0); off < size; off += int64(len(pat)) {
+			chunk := pat
+			if rem := size - off; rem < int64(len(chunk)) {
+				chunk = chunk[:rem]
+			}
+			f.WriteAt(chunk, off)
+		}
+	}
+}
+
+// openDafsStriped dials every server and opens an MPI-IO file over the
+// striped driver.
+func openDafsStriped(p *sim.Proc, c *cluster.Cluster, client int, st layout.Striping, name string, mode int) (*mpiio.File, *mpiio.StripedDAFSDriver) {
+	pool, err := c.DialDAFSAll(p, client, nil)
+	if err != nil {
+		panic(err)
+	}
+	drv := mpiio.NewStripedDAFSDriver(pool, st)
+	f, err := mpiio.Open(p, nil, drv, name, mode, nil)
+	if err != nil {
+		panic(err)
+	}
+	return f, drv
+}
+
+// stripePoint measures aggregate bandwidth for n clients against s servers:
+// each client streams its own region of one shared striped file in
+// 256KB requests, every request dispatched as concurrent per-server
+// stripe fragments. Same gating discipline as scalePoint.
+func stripePoint(n, s int, write bool) float64 {
+	st := layout.Striping{StripeSize: stripeSize, Width: s}
+	c := cluster.New(cluster.Config{Clients: n, Servers: s, DAFS: true})
+	total := int64(n) * stripePer
+	if write {
+		prefillStriped(c, "striped", 0, st) // create empty stripe objects
+	} else {
+		prefillStriped(c, "striped", total, st)
+	}
+	ready := sim.NewWaitGroup(c.K, n)
+	var start, end sim.Time
+	err := c.SpawnClients(func(p *sim.Proc, i int) {
+		mode := mpiio.ModeRdOnly
+		if write {
+			mode = mpiio.ModeWrOnly
+		}
+		f, _ := openDafsStriped(p, c, i, st, "striped", mode)
+		buf := make([]byte, stripeChunk)
+		base := int64(i) * stripePer
+		// Warm the registration cache and per-server handles.
+		if write {
+			f.WriteAt(p, base, buf)
+		} else {
+			f.ReadAt(p, base, buf)
+		}
+		ready.Done()
+		ready.Wait(p)
+		if start == 0 {
+			start = p.Now()
+		}
+		for off := int64(0); off < stripePer; off += stripeChunk {
+			var err error
+			if write {
+				_, err = f.WriteAt(p, base+off, buf)
+			} else {
+				_, err = f.ReadAt(p, base+off, buf)
+			}
+			if err != nil {
+				panic(err)
+			}
+		}
+		if now := p.Now(); now > end {
+			end = now
+		}
+		f.Close(p)
+	})
+	if err != nil {
+		panic(err)
+	}
+	return stats.MBps(total, end-start)
+}
+
+// t15Table runs the striped-scaling grid for the given client and server
+// counts (parameterized so the determinism test can re-run the full grid
+// or a subset).
+func t15Table(clients, servers []int) *stats.Table {
+	cols := []string{"clients"}
+	for _, s := range servers {
+		cols = append(cols, itoa(s)+"-srv rd")
+	}
+	last := servers[len(servers)-1]
+	cols = append(cols, itoa(last)+"-srv wr")
+	t := &stats.Table{
+		ID:    "T15",
+		Title: "Striped aggregate bandwidth: clients x servers (256KB requests, 64KB stripes)",
+		Note: "one file striped round-robin across the servers; each request issues one fragment per server in parallel.\n" +
+			"1-srv reproduces T5's single-NIC wall; more servers multiply the aggregate ceiling until the client links saturate",
+		Columns: cols,
+	}
+	for _, n := range clients {
+		row := []string{itoa(n)}
+		for _, s := range servers {
+			row = append(row, stats.BW(stripePoint(n, s, false)))
+		}
+		row = append(row, stats.BW(stripePoint(n, last, true)))
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// T15StripedScaling is the multi-server escape from T5's wall: where T5
+// flat-lines at one server NIC no matter how many clients push, striping
+// the file across servers multiplies the aggregate ceiling.
+func T15StripedScaling() *stats.Table {
+	return t15Table([]int{1, 2, 4, 8}, []int{1, 2, 4})
+}

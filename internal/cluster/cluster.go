@@ -1,7 +1,9 @@
-// Package cluster assembles the standard experiment topology: one file
-// server and N client hosts on a shared SAN, with a DAFS server (over VIA),
-// an NFS server (over the kernel stack), or both, exporting the same store
-// — plus an optional MPI world spanning the clients.
+// Package cluster assembles the standard experiment topology: one or more
+// file servers and N client hosts on a shared SAN, with DAFS servers (over
+// VIA), an NFS server (over the kernel stack), or both — plus an optional
+// MPI world spanning the clients. With Servers > 1 each DAFS server gets
+// its own node, NIC, and store, the substrate for striped (parallel-file-
+// system style) experiments; Servers == 1 is the paper's topology.
 //
 // Every test, benchmark, example, and CLI in this repository builds its
 // machines through this package so that all results come from identical
@@ -26,6 +28,10 @@ import (
 type Config struct {
 	// Clients is the number of client hosts (>= 1).
 	Clients int
+	// Servers is the number of DAFS server hosts (default 1). Each server
+	// gets its own node, NIC, store, and (with ServerDisk) disk; the NFS
+	// baseline always exports server 0's store.
+	Servers int
 	// Profile is the cost model (default model.CLAN1998()).
 	Profile *model.Profile
 	// DAFS starts a DAFS server and puts a VIA NIC on every client.
@@ -49,12 +55,19 @@ type Cluster struct {
 	Prof  *model.Profile
 	Fab   *fabric.Fabric
 	Prov  *via.Provider
-	Store *storage.Store
-	Disk  *storage.Disk
+	Store *storage.Store // server 0's store (the only one with Servers == 1)
+	Disk  *storage.Disk  // server 0's disk (nil unless ServerDisk)
 
-	ServerNode *fabric.Node
-	DAFSSrv    *dafs.Server
+	ServerNode *fabric.Node // server 0
+	DAFSSrv    *dafs.Server // server 0
 	NFSSrv     *nfs.Server
+
+	// Per-server slices, in server order; index 0 aliases the singular
+	// fields above. DAFSSrvs is nil when DAFS is off.
+	ServerNodes []*fabric.Node
+	Stores      []*storage.Store
+	Disks       []*storage.Disk
+	DAFSSrvs    []*dafs.Server
 
 	ClientNodes []*fabric.Node
 	NICs        []*via.NIC      // per client (when DAFS or MPI)
@@ -66,6 +79,13 @@ type Cluster struct {
 func New(cfg Config) *Cluster {
 	if cfg.Clients < 1 {
 		panic("cluster: need at least one client")
+	}
+	servers := cfg.Servers
+	if servers == 0 {
+		servers = 1
+	}
+	if servers < 1 {
+		panic("cluster: need at least one server")
 	}
 	prof := cfg.Profile
 	if prof == nil {
@@ -79,19 +99,43 @@ func New(cfg Config) *Cluster {
 		Store: storage.NewStore(),
 	}
 	c.Prov = via.NewProvider(c.Fab)
-	c.ServerNode = c.Fab.AddNode("server")
-	if cfg.ServerDisk {
-		c.Disk = storage.NewDisk(k, "server.disk", prof.DiskSeek, prof.DiskBW)
+	// Server 0 keeps the seed topology's names and construction order so
+	// single-server experiments are bit-for-bit unchanged; extra servers
+	// follow the same recipe with their own node, store, and disk.
+	for i := 0; i < servers; i++ {
+		name := "server"
+		store := c.Store
+		if i > 0 {
+			name = fmt.Sprintf("server%d", i)
+			store = storage.NewStore()
+		}
+		node := c.Fab.AddNode(name)
+		c.ServerNodes = append(c.ServerNodes, node)
+		c.Stores = append(c.Stores, store)
+		var disk *storage.Disk
+		if cfg.ServerDisk {
+			disk = storage.NewDisk(k, name+".disk", prof.DiskSeek, prof.DiskBW)
+		}
+		c.Disks = append(c.Disks, disk)
+		if cfg.DAFS {
+			dopts := cfg.DAFSOptions
+			if dopts == nil {
+				dopts = &dafs.ServerOptions{}
+			}
+			if i > 0 {
+				// Servers past the first share tuning but never a disk or
+				// an explicitly injected one (that would serialize them).
+				dopts = &dafs.ServerOptions{Workers: dopts.Workers, Disk: disk}
+			} else if dopts.Disk == nil {
+				dopts.Disk = disk
+			}
+			c.DAFSSrvs = append(c.DAFSSrvs, dafs.NewServer(c.Prov.NewNIC(node), store, dopts))
+		}
 	}
+	c.ServerNode = c.ServerNodes[0]
+	c.Disk = c.Disks[0]
 	if cfg.DAFS {
-		dopts := cfg.DAFSOptions
-		if dopts == nil {
-			dopts = &dafs.ServerOptions{}
-		}
-		if dopts.Disk == nil {
-			dopts.Disk = c.Disk
-		}
-		c.DAFSSrv = dafs.NewServer(c.Prov.NewNIC(c.ServerNode), c.Store, dopts)
+		c.DAFSSrv = c.DAFSSrvs[0]
 	}
 	if cfg.NFS {
 		nopts := cfg.NFSOptions
@@ -120,12 +164,40 @@ func New(cfg Config) *Cluster {
 	return c
 }
 
-// DialDAFS opens a DAFS session from client i.
+// DialDAFS opens a DAFS session from client i to server 0 (the only
+// server in the paper's topology).
 func (c *Cluster) DialDAFS(p *sim.Proc, i int, opts *dafs.Options) (*dafs.Client, error) {
-	if c.DAFSSrv == nil {
+	return c.DialDAFSServer(p, i, 0, opts)
+}
+
+// DialDAFSServer opens a DAFS session from client i to server s. All
+// sessions of a client share its one NIC, so a buffer registered for one
+// session's direct I/O is usable by every session of the pool.
+func (c *Cluster) DialDAFSServer(p *sim.Proc, i, s int, opts *dafs.Options) (*dafs.Client, error) {
+	if len(c.DAFSSrvs) == 0 {
 		return nil, fmt.Errorf("cluster: no DAFS server configured")
 	}
-	return dafs.Dial(p, c.NICs[i], c.DAFSSrv, opts)
+	if s < 0 || s >= len(c.DAFSSrvs) {
+		return nil, fmt.Errorf("cluster: no DAFS server %d (have %d)", s, len(c.DAFSSrvs))
+	}
+	return dafs.Dial(p, c.NICs[i], c.DAFSSrvs[s], opts)
+}
+
+// DialDAFSAll opens one session from client i to every DAFS server, in
+// server order — the session pool a striped driver needs.
+func (c *Cluster) DialDAFSAll(p *sim.Proc, i int, opts *dafs.Options) ([]*dafs.Client, error) {
+	if len(c.DAFSSrvs) == 0 {
+		return nil, fmt.Errorf("cluster: no DAFS server configured")
+	}
+	clients := make([]*dafs.Client, len(c.DAFSSrvs))
+	for s := range c.DAFSSrvs {
+		cl, err := c.DialDAFSServer(p, i, s, opts)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: dial server %d: %w", s, err)
+		}
+		clients[s] = cl
+	}
+	return clients, nil
 }
 
 // MountNFS mounts the NFS export from client i.

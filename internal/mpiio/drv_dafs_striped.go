@@ -1,0 +1,329 @@
+package mpiio
+
+import (
+	"errors"
+	"fmt"
+
+	"dafsio/internal/dafs"
+	"dafsio/internal/layout"
+	"dafsio/internal/sim"
+	"dafsio/internal/via"
+)
+
+// StripedDAFSDriver binds MPI-IO to a pool of DAFS sessions — one per
+// server — with a layout.Striping policy deciding which server holds which
+// bytes. A contiguous request is mapped to per-server stripe fragments,
+// every fragment is issued as a nonblocking DAFS operation (inline or
+// direct per fragment, same discipline as the single-server driver), and
+// the completions are aggregated: writes sum their counts, reads report
+// the contiguous prefix so EOF mid-stripe keeps POSIX short-read
+// semantics. Each server stores one stripe object under the file's name.
+//
+// With Width == 1 the layout is the identity mapping and every request
+// becomes exactly the operation the plain DAFSDriver would issue, so the
+// single-server tables are the stripes=1 special case of this driver.
+//
+// The embedded DAFSDriver (over the pool's first session) supplies the
+// transfer-discipline knobs and the registration cache; all sessions of a
+// pool share the client's one NIC, so one registration serves every
+// per-server fragment of a request.
+type StripedDAFSDriver struct {
+	*DAFSDriver
+	clients  []*dafs.Client
+	striping layout.Striping
+}
+
+// NewStripedDAFSDriver wraps a session pool, one session per server in
+// layout order. The pool must match the policy's width and share one NIC.
+func NewStripedDAFSDriver(clients []*dafs.Client, st layout.Striping) *StripedDAFSDriver {
+	if err := st.Validate(); err != nil {
+		panic(err)
+	}
+	if len(clients) != st.Width {
+		panic(fmt.Sprintf("mpiio: %d sessions for stripe width %d", len(clients), st.Width))
+	}
+	d := &StripedDAFSDriver{
+		DAFSDriver: NewDAFSDriver(clients[0]),
+		clients:    clients,
+		striping:   st,
+	}
+	for _, c := range clients {
+		if c.NIC() != clients[0].NIC() {
+			panic("mpiio: striped session pool spans NICs")
+		}
+		// Inline fragments must fit every session's negotiated limit.
+		if c.MaxInline() < d.DirectThreshold {
+			d.DirectThreshold = c.MaxInline()
+		}
+	}
+	return d
+}
+
+// Clients returns the session pool in server order.
+func (d *StripedDAFSDriver) Clients() []*dafs.Client { return d.clients }
+
+// Striping returns the placement policy.
+func (d *StripedDAFSDriver) Striping() layout.Striping { return d.striping }
+
+// Name implements Driver.
+func (d *StripedDAFSDriver) Name() string {
+	if d.striping.Width == 1 {
+		return "dafs"
+	}
+	return fmt.Sprintf("dafs-striped/%d", d.striping.Width)
+}
+
+// Open implements Driver: the file's stripe object is looked up (or
+// created) on every server, in server order.
+func (d *StripedDAFSDriver) Open(p *sim.Proc, name string, mode int) (Handle, error) {
+	if err := checkAccessMode(mode); err != nil {
+		return nil, err
+	}
+	fhs := make([]dafs.FH, len(d.clients))
+	for i, c := range d.clients {
+		fh, _, err := c.Lookup(p, name)
+		switch {
+		case err == nil:
+			if mode&ModeExcl != 0 {
+				return nil, ErrExist
+			}
+		case errors.Is(err, dafs.ErrNoEnt) && mode&ModeCreate != 0:
+			fh, _, err = c.Create(p, name)
+			if err != nil {
+				return nil, mapDafsErr(err)
+			}
+		default:
+			return nil, mapDafsErr(err)
+		}
+		fhs[i] = fh
+	}
+	return &stripedHandle{drv: d, fhs: fhs, name: name, mode: mode}, nil
+}
+
+// Delete implements Driver: the stripe object is removed on every server.
+func (d *StripedDAFSDriver) Delete(p *sim.Proc, name string) error {
+	missing := 0
+	for _, c := range d.clients {
+		err := c.Remove(p, name)
+		if errors.Is(err, dafs.ErrNoEnt) {
+			missing++
+			continue
+		}
+		if err != nil {
+			return mapDafsErr(err)
+		}
+	}
+	if missing == len(d.clients) {
+		return ErrNoEnt
+	}
+	return nil
+}
+
+type stripedHandle struct {
+	drv    *StripedDAFSDriver
+	fhs    []dafs.FH // per server, layout order
+	name   string
+	mode   int
+	closed bool
+}
+
+func (h *stripedHandle) check(off int64, write bool) error {
+	if h.closed {
+		return ErrClosed
+	}
+	if off < 0 {
+		return ErrNegative
+	}
+	if write && h.mode&ModeRdOnly != 0 {
+		return ErrReadOnly
+	}
+	if !write && h.mode&ModeWrOnly != 0 {
+		return ErrWriteOnly
+	}
+	return nil
+}
+
+// startFrags maps the request, registers the buffer once if any fragment
+// takes the direct path, and issues every fragment as a nonblocking DAFS
+// op on its server's session. On an issue failure the already-launched
+// fragments are drained (their completions carry no cleanup we can skip)
+// before the error is reported.
+func (h *stripedHandle) startFrags(p *sim.Proc, off int64, buf []byte, write bool) ([]layout.Fragment, multiOp, *via.Region, error) {
+	d := h.drv.DAFSDriver
+	frags := h.drv.striping.Map(off, int64(len(buf)))
+	var reg *via.Region
+	for _, f := range frags {
+		if int(f.Len) > d.DirectThreshold {
+			reg = d.region(p, buf)
+			break
+		}
+	}
+	ops := make(multiOp, 0, len(frags))
+	for _, f := range frags {
+		c := h.drv.clients[f.Server]
+		fh := h.fhs[f.Server]
+		var io *dafs.IO
+		var err error
+		switch {
+		case int(f.Len) <= d.DirectThreshold && write:
+			io, err = c.StartWrite(p, fh, f.Off, buf[f.BufOff:f.BufOff+f.Len])
+		case int(f.Len) <= d.DirectThreshold:
+			io, err = c.StartRead(p, fh, f.Off, buf[f.BufOff:f.BufOff+f.Len])
+		case write:
+			io, err = c.StartWriteDirect(p, fh, f.Off, reg, int(f.BufOff), int(f.Len))
+		default:
+			io, err = c.StartReadDirect(p, fh, f.Off, reg, int(f.BufOff), int(f.Len))
+		}
+		if err != nil {
+			ops.Wait(p)
+			if reg != nil {
+				d.release(p, reg)
+			}
+			return nil, nil, nil, mapDafsErr(err)
+		}
+		ops = append(ops, &dafsOp{io: io, drv: d})
+	}
+	return frags, ops, reg, nil
+}
+
+// StartRead implements Handle.
+func (h *stripedHandle) StartRead(p *sim.Proc, off int64, buf []byte) (AsyncOp, error) {
+	if err := h.check(off, false); err != nil {
+		return nil, err
+	}
+	if len(buf) == 0 {
+		return doneOp{}, nil
+	}
+	frags, ops, reg, err := h.startFrags(p, off, buf, false)
+	if err != nil {
+		return nil, err
+	}
+	return &stripedReadOp{frags: frags, ops: ops, drv: h.drv.DAFSDriver, reg: reg}, nil
+}
+
+// StartWrite implements Handle.
+func (h *stripedHandle) StartWrite(p *sim.Proc, off int64, buf []byte) (AsyncOp, error) {
+	if err := h.check(off, true); err != nil {
+		return nil, err
+	}
+	if len(buf) == 0 {
+		return doneOp{}, nil
+	}
+	_, ops, reg, err := h.startFrags(p, off, buf, true)
+	if err != nil {
+		return nil, err
+	}
+	if reg != nil {
+		// As in startList: the registration is released once, after the
+		// last fragment completes; multiOp drains every op regardless.
+		last := len(ops) - 1
+		ops[last] = &dafsOp{io: ops[last].(*dafsOp).io, drv: h.drv.DAFSDriver, reg: reg}
+	}
+	return ops, nil
+}
+
+// stripedReadOp aggregates per-fragment reads with contiguous-prefix
+// short-read semantics (a plain multiOp would over-count past EOF holes).
+type stripedReadOp struct {
+	frags []layout.Fragment
+	ops   multiOp
+	drv   *DAFSDriver
+	reg   *via.Region
+}
+
+// Wait implements AsyncOp.
+func (o *stripedReadOp) Wait(p *sim.Proc) (int, error) {
+	counts := make([]int, len(o.ops))
+	var firstErr error
+	for i, op := range o.ops {
+		n, err := op.Wait(p)
+		counts[i] = n
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	if o.reg != nil {
+		o.drv.release(p, o.reg)
+	}
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	return layout.ContiguousCount(o.frags, counts), nil
+}
+
+// ReadContig implements Handle.
+func (h *stripedHandle) ReadContig(p *sim.Proc, off int64, buf []byte) (int, error) {
+	op, err := h.StartRead(p, off, buf)
+	if err != nil {
+		return 0, err
+	}
+	return op.Wait(p)
+}
+
+// WriteContig implements Handle.
+func (h *stripedHandle) WriteContig(p *sim.Proc, off int64, buf []byte) (int, error) {
+	op, err := h.StartWrite(p, off, buf)
+	if err != nil {
+		return 0, err
+	}
+	return op.Wait(p)
+}
+
+// Size implements Handle: the logical size is recovered from the
+// per-server stripe-object sizes through the layout's inverse mapping.
+func (h *stripedHandle) Size(p *sim.Proc) (int64, error) {
+	if h.closed {
+		return 0, ErrClosed
+	}
+	sizes := make([]int64, len(h.fhs))
+	for i, c := range h.drv.clients {
+		attr, err := c.Getattr(p, h.fhs[i])
+		if err != nil {
+			return 0, mapDafsErr(err)
+		}
+		sizes[i] = attr.Size
+	}
+	return h.drv.striping.LogicalSize(sizes), nil
+}
+
+// Resize implements Handle: each server's object is set to its share of
+// the logical size.
+func (h *stripedHandle) Resize(p *sim.Proc, n int64) error {
+	if h.closed {
+		return ErrClosed
+	}
+	if n < 0 {
+		return ErrNegative
+	}
+	for i, z := range h.drv.striping.ObjectSizes(n) {
+		if err := h.drv.clients[i].Setattr(p, h.fhs[i], z); err != nil {
+			return mapDafsErr(err)
+		}
+	}
+	return nil
+}
+
+// Sync implements Handle.
+func (h *stripedHandle) Sync(p *sim.Proc) error {
+	if h.closed {
+		return ErrClosed
+	}
+	for i, c := range h.drv.clients {
+		if err := c.Fsync(p, h.fhs[i]); err != nil {
+			return mapDafsErr(err)
+		}
+	}
+	return nil
+}
+
+// Close implements Handle.
+func (h *stripedHandle) Close(p *sim.Proc) error {
+	if h.closed {
+		return nil
+	}
+	h.closed = true
+	if h.mode&ModeDeleteOnClose != 0 {
+		return h.drv.Delete(p, h.name)
+	}
+	return nil
+}
