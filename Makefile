@@ -1,0 +1,26 @@
+# Developer entry points; CI (.github/workflows/ci.yml) runs the same
+# four gates.
+
+GO ?= go
+
+.PHONY: build test race lint fmt all
+
+all: build test race lint
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# lint runs the stock vet suite plus mpiolint, the repo's own invariant
+# checkers (simtime, detrand, regmem, errwrap — see DESIGN.md).
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/mpiolint ./...
+
+fmt:
+	gofmt -s -w .

@@ -1,0 +1,162 @@
+// Package detrand guards the determinism of result-producing code.
+//
+// Three sources of hidden nondeterminism are flagged:
+//
+//  1. The unseeded package-level math/rand (and math/rand/v2) generators.
+//     Their state is global and, since Go 1.20, randomly seeded, so two
+//     runs draw different sequences. Deterministic code must thread an
+//     explicit rand.New(rand.NewSource(seed)).
+//  2. crypto/rand, which is nondeterministic by construction and has no
+//     place in a simulation whose output is diff-verified.
+//  3. Iteration over a map that feeds output or simulator scheduling.
+//     Go randomizes map iteration order on purpose; printing inside such
+//     a loop reorders table rows between runs, and calling simulator
+//     primitives (Future.Set, Chan.Send, Resource.Release...) inside one
+//     reorders wakeups — changing simulated timings run to run. Collect
+//     the keys, sort them, then iterate the slice.
+package detrand
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"dafsio/internal/analysis"
+)
+
+// globalRand is the package-level (shared, unseeded) generator surface of
+// math/rand and math/rand/v2. Constructors (New, NewSource, NewZipf,
+// NewPCG, NewChaCha8) stay legal: an explicitly seeded *rand.Rand is the
+// deterministic idiom.
+var globalRand = map[string]bool{
+	"Int": true, "Intn": true, "IntN": true,
+	"Int31": true, "Int31n": true, "Int32": true, "Int32N": true,
+	"Int63": true, "Int63n": true, "Int64": true, "Int64N": true,
+	"Uint": true, "UintN": true, "Uint32": true, "Uint32N": true,
+	"Uint64": true, "Uint64N": true, "N": true,
+	"Float32": true, "Float64": true,
+	"ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+}
+
+// schedulingSinks are simulator entry points that are order-sensitive:
+// invoking them from inside a randomized map iteration makes event order —
+// and therefore simulated time — differ between runs.
+var schedulingSinks = map[string]bool{
+	"Set": true, "Send": true, "TrySend": true,
+	"Acquire": true, "Release": true,
+	"Spawn": true, "SpawnDaemon": true,
+	"At": true, "After": true,
+	"Add": true, "Done": true, "Wake": true,
+}
+
+// Analyzer is the detrand pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrand",
+	Doc:  "forbid unseeded math/rand and crypto/rand in result-producing code; flag map iteration that feeds output or scheduling order",
+	Match: func(pkgPath string) bool {
+		return analysis.PathHasPrefix(pkgPath, "dafsio")
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				checkRandUse(pass, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkRandUse flags selector uses of the banned randomness APIs.
+func checkRandUse(pass *analysis.Pass, sel *ast.SelectorExpr) {
+	path, name, ok := analysis.UsedPkgFunc(pass.TypesInfo, sel)
+	if !ok {
+		return
+	}
+	switch path {
+	case "math/rand", "math/rand/v2":
+		if globalRand[name] {
+			pass.Reportf(sel.Pos(), "unseeded global rand.%s; results must be reproducible — use rand.New(rand.NewSource(seed))", name)
+		}
+	case "crypto/rand":
+		pass.Reportf(sel.Pos(), "crypto/rand.%s in result-producing code; the simulation's output is diff-verified and must be deterministic", name)
+	}
+}
+
+// checkMapRange flags range-over-map loops whose body feeds output or
+// simulator scheduling.
+func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt) {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	reported := false
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if reported {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if path, name, ok := analysis.UsedPkgFunc(pass.TypesInfo, sel); ok {
+			if path == "fmt" && (strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint") || strings.HasPrefix(name, "Sprint")) {
+				reported = true
+				pass.Reportf(rng.Pos(), "map iteration feeds fmt.%s; map order is random per run — sort the keys and iterate the slice", name)
+				return false
+			}
+			return true
+		}
+		// Method call: resolve the method's defining package.
+		s, ok := pass.TypesInfo.Selections[sel]
+		if !ok || s.Kind() != types.MethodVal {
+			return true
+		}
+		obj := s.Obj()
+		if obj.Pkg() == nil {
+			return true
+		}
+		switch obj.Pkg().Path() {
+		case "dafsio/internal/sim":
+			if schedulingSinks[obj.Name()] {
+				reported = true
+				pass.Reportf(rng.Pos(), "map iteration calls sim.%s.%s; wakeup order would follow random map order — sort the keys first", recvName(s), obj.Name())
+				return false
+			}
+		case "strings", "bytes":
+			if strings.HasPrefix(obj.Name(), "Write") {
+				reported = true
+				pass.Reportf(rng.Pos(), "map iteration writes output via %s.%s; map order is random per run — sort the keys first", obj.Pkg().Name(), obj.Name())
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// recvName names a selection's receiver type for diagnostics.
+func recvName(s *types.Selection) string {
+	t := s.Recv()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return t.String()
+}

@@ -1,0 +1,90 @@
+// Package errwrap enforces sentinel-error discipline at the protocol
+// layers (internal/dafs, internal/via, internal/wire).
+//
+// The failure-injection tests kill transports mid-run and assert on error
+// identity with errors.Is; that only works if every error a protocol layer
+// produces wraps one of the package's exported sentinels (dafs.ErrSession,
+// via.ErrInvalidRegion, wire.ErrWire, ...). Two constructions break the
+// chain and are reported:
+//
+//   - errors.New inside a function body: the value is a fresh identity no
+//     test can match — declare the sentinel at package level and wrap it;
+//   - fmt.Errorf whose format does not contain %w (or is not a constant
+//     string): the cause is flattened into text and errors.Is stops
+//     working across the layer boundary.
+package errwrap
+
+import (
+	"go/ast"
+	"strings"
+
+	"dafsio/internal/analysis"
+)
+
+// protocolLayers are the packages whose errors cross the client/server
+// boundary and feed errors.Is-based failure handling.
+var protocolLayers = []string{
+	"dafsio/internal/dafs",
+	"dafsio/internal/via",
+	"dafsio/internal/wire",
+}
+
+// Analyzer is the errwrap pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "errwrap",
+	Doc:  "protocol-layer errors must wrap package sentinels (%w) so failure-injection tests can errors.Is them",
+	Match: func(pkgPath string) bool {
+		return analysis.PathIsAny(pkgPath, protocolLayers...)
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				path, name, ok := analysis.UsedPkgFunc(pass.TypesInfo, sel)
+				if !ok {
+					return true
+				}
+				switch {
+				case path == "errors" && name == "New":
+					pass.Reportf(call.Pos(), "errors.New inside a function: failure-injection tests cannot errors.Is a fresh identity — declare a package-level sentinel and wrap it with fmt.Errorf(\"%%w: ...\", Err...)")
+				case path == "fmt" && name == "Errorf":
+					checkErrorf(pass, call)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkErrorf verifies that a fmt.Errorf format is a constant string
+// containing %w.
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil {
+		pass.Reportf(call.Pos(), "fmt.Errorf with non-constant format: the %%w wrap of a package sentinel cannot be verified")
+		return
+	}
+	format := tv.Value.ExactString()
+	if !strings.Contains(format, "%w") {
+		pass.Reportf(call.Pos(), "fmt.Errorf without %%w: wrap a package sentinel (fmt.Errorf(\"%%w: ...\", ErrX, ...)) so errors.Is works across the protocol boundary")
+	}
+}

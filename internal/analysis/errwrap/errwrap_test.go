@@ -1,0 +1,28 @@
+package errwrap_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"dafsio/internal/analysis/analysistest"
+	"dafsio/internal/analysis/errwrap"
+)
+
+func TestErrwrap(t *testing.T) {
+	analysistest.Run(t, errwrap.Analyzer, filepath.Join("testdata", "src", "a"))
+}
+
+// TestMatch: only the protocol layers carry the sentinel discipline.
+func TestMatch(t *testing.T) {
+	for path, want := range map[string]bool{
+		"dafsio/internal/dafs":  true,
+		"dafsio/internal/via":   true,
+		"dafsio/internal/wire":  true,
+		"dafsio/internal/mpiio": false,
+		"dafsio/internal/nfs":   false,
+	} {
+		if got := errwrap.Analyzer.Match(path); got != want {
+			t.Errorf("Match(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -1,0 +1,34 @@
+// Fixture for the errwrap analyzer: protocol-layer errors must wrap
+// package-level sentinels so errors.Is works across the boundary.
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Package-level sentinels are the sanctioned identities.
+var (
+	ErrBase  = errors.New("a: base failure")
+	ErrOther = errors.New("a: other failure")
+)
+
+func badAdHoc() error {
+	return errors.New("a: ad-hoc failure") // want `errors\.New inside a function`
+}
+
+func badFlattened(cause error) error {
+	return fmt.Errorf("a: operation failed: %v", cause) // want `fmt\.Errorf without %w`
+}
+
+func badNonConstant(format string, args ...any) error {
+	return fmt.Errorf(format, args...) // want `fmt\.Errorf with non-constant format`
+}
+
+func goodWrap(detail int) error {
+	return fmt.Errorf("%w: detail %d", ErrBase, detail)
+}
+
+func goodIs(err error) bool {
+	return errors.Is(err, ErrBase) || errors.Is(err, ErrOther)
+}

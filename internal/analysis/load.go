@@ -1,0 +1,228 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+)
+
+// Package is one loaded, type-checked package ready for analysis. Only
+// non-test files are loaded: the invariants guard the simulator and its
+// result-producing paths, and test files are free to use wall clocks or
+// seeded randomness for their own bookkeeping.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader needs.
+type listedPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Standard   bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Loader discovers packages with `go list` and type-checks them (and their
+// whole dependency chain, standard library included) from source. It is a
+// minimal stand-in for golang.org/x/tools/go/packages built only on the
+// standard library, which keeps mpiolint dependency-free.
+type Loader struct {
+	// Dir is where `go list` runs; it must be inside the module.
+	Dir string
+
+	fset  *token.FileSet
+	typed map[string]*types.Package
+}
+
+// NewLoader returns a loader rooted at dir ("" means current directory).
+func NewLoader(dir string) *Loader {
+	return &Loader{
+		Dir:   dir,
+		fset:  token.NewFileSet(),
+		typed: map[string]*types.Package{"unsafe": types.Unsafe},
+	}
+}
+
+// Fset returns the loader's file set (shared by every loaded package).
+func (ld *Loader) Fset() *token.FileSet { return ld.fset }
+
+// goList runs `go list -json` over patterns, with -deps when deps is true
+// (whose output is ordered dependencies-first — the type-check order).
+func (ld *Loader) goList(deps bool, patterns ...string) ([]*listedPkg, error) {
+	args := []string{"list"}
+	if deps {
+		args = append(args, "-deps")
+	}
+	args = append(args, "-json=ImportPath,Name,Dir,GoFiles,Imports,ImportMap,Standard,Incomplete,Error")
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = ld.Dir
+	// CGO off: pure-Go variants of every std package, checkable from source.
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+	var pkgs []*listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		l := new(listedPkg)
+		if err := dec.Decode(l); err != nil {
+			return nil, fmt.Errorf("go list %v: decoding: %v", patterns, err)
+		}
+		if l.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", l.ImportPath, l.Error.Err)
+		}
+		pkgs = append(pkgs, l)
+	}
+	return pkgs, nil
+}
+
+// Load loads the packages matching the `go list` patterns and returns them
+// with full type information, ready for analysis.
+func (ld *Loader) Load(patterns ...string) ([]*Package, error) {
+	roots, err := ld.goList(false, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	all, err := ld.goList(true, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	isRoot := make(map[string]bool, len(roots))
+	for _, l := range roots {
+		isRoot[l.ImportPath] = true
+	}
+	var out []*Package
+	for _, l := range all {
+		if _, done := ld.typed[l.ImportPath]; done && !isRoot[l.ImportPath] {
+			continue
+		}
+		pkg, err := ld.check(l, isRoot[l.ImportPath])
+		if err != nil {
+			return nil, err
+		}
+		if isRoot[l.ImportPath] {
+			out = append(out, pkg)
+		}
+	}
+	return out, nil
+}
+
+// Import lazily loads a single package by import path, with its dependency
+// chain. It implements types.Importer so fixture packages (which sit
+// outside any module) can be type-checked against real repository and
+// standard-library packages.
+func (ld *Loader) Import(path string) (*types.Package, error) {
+	if p, ok := ld.typed[path]; ok {
+		return p, nil
+	}
+	chain, err := ld.goList(true, path)
+	if err != nil {
+		return nil, err
+	}
+	for _, l := range chain {
+		if _, done := ld.typed[l.ImportPath]; done {
+			continue
+		}
+		if _, err := ld.check(l, false); err != nil {
+			return nil, err
+		}
+	}
+	p, ok := ld.typed[path]
+	if !ok {
+		return nil, fmt.Errorf("analysis: %q not resolved by go list", path)
+	}
+	return p, nil
+}
+
+// NewInfo returns a types.Info with every map the passes consult.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+}
+
+// Config returns a types.Config for checking a package whose import
+// statements resolve through importMap (nil for the identity mapping) and
+// then through the loader.
+func (ld *Loader) Config(importMap map[string]string, strict bool, errs *[]error) types.Config {
+	conf := types.Config{
+		FakeImportC: true,
+		Sizes:       types.SizesFor("gc", runtime.GOARCH),
+		Importer: importerFunc(func(path string) (*types.Package, error) {
+			if mapped, ok := importMap[path]; ok {
+				path = mapped
+			}
+			return ld.Import(path)
+		}),
+	}
+	if !strict {
+		// Dependencies are checked best-effort: a partially checked std
+		// package is still usable for name resolution in the roots.
+		conf.Error = func(error) {}
+	} else if errs != nil {
+		conf.Error = func(err error) { *errs = append(*errs, err) }
+	}
+	return conf
+}
+
+// check parses and type-checks one listed package. Root packages are
+// checked strictly and with full type information.
+func (ld *Loader) check(l *listedPkg, root bool) (*Package, error) {
+	if l.ImportPath == "unsafe" {
+		// go list reports unsafe with a source file, but its declarations
+		// are compiler intrinsics; checking that file from source would
+		// shadow types.Unsafe with a fake package.
+		return nil, nil
+	}
+	var files []*ast.File
+	for _, name := range l.GoFiles {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(l.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	var errs []error
+	conf := ld.Config(l.ImportMap, root, &errs)
+	info := NewInfo()
+	tpkg, err := conf.Check(l.ImportPath, ld.fset, files, info)
+	if root {
+		if len(errs) > 0 {
+			return nil, fmt.Errorf("analysis: %s: %d type errors, first: %v", l.ImportPath, len(errs), errs[0])
+		}
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %s: %v", l.ImportPath, err)
+		}
+	}
+	ld.typed[l.ImportPath] = tpkg
+	return &Package{Path: l.ImportPath, Fset: ld.fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,27 @@
+package regmem_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"dafsio/internal/analysis/analysistest"
+	"dafsio/internal/analysis/regmem"
+)
+
+func TestRegmem(t *testing.T) {
+	analysistest.Run(t, regmem.Analyzer, filepath.Join("testdata", "src", "a"))
+}
+
+// TestMatch: every package is covered except the via package itself,
+// which implements the registration machinery.
+func TestMatch(t *testing.T) {
+	for path, want := range map[string]bool{
+		"dafsio/internal/via":  false,
+		"dafsio/internal/dafs": true,
+		"dafsio/internal/mpi":  true,
+	} {
+		if got := regmem.Analyzer.Match(path); got != want {
+			t.Errorf("Match(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

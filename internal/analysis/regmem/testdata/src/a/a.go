@@ -1,0 +1,51 @@
+// Fixture for the regmem analyzer: via.Region values must originate in
+// the NIC registration API; descriptors posted to the work queues must
+// carry one.
+package a
+
+import (
+	"dafsio/internal/sim"
+	"dafsio/internal/via"
+)
+
+var zero via.Region // want `variable of value type via\.Region`
+
+func forgeLiteral() *via.Region {
+	return &via.Region{Handle: 7} // want `via\.Region composite literal`
+}
+
+func forgeNew() *via.Region {
+	return new(via.Region) // want `new\(via\.Region\)`
+}
+
+func postMissingRegion(p *sim.Proc, vi *via.VI) {
+	_ = vi.PrepostRecv(&via.Descriptor{Len: 64}) // want `PrepostRecv with descriptor missing its Region`
+}
+
+func postNilRegion(p *sim.Proc, vi *via.VI) {
+	_ = vi.PostSend(p, &via.Descriptor{Op: via.OpSend, Region: nil}) // want `PostSend descriptor's Region is nil`
+}
+
+func postNilVar(p *sim.Proc, vi *via.VI) {
+	var r *via.Region
+	r = nil
+	d := &via.Descriptor{Op: via.OpSend, Region: r} // want `PostSend descriptor's Region is nil`
+	_ = vi.PostSend(p, d)
+}
+
+func goodRegistered(p *sim.Proc, n *via.NIC, vi *via.VI, buf []byte) {
+	r := n.Register(p, buf)
+	_ = vi.PostRecv(p, &via.Descriptor{Region: r, Len: r.Len()})
+}
+
+func goodCached(n *via.NIC, vi *via.VI, buf []byte) {
+	r := n.RegisterCached(buf)
+	_ = vi.PrepostRecv(&via.Descriptor{Region: r, Len: r.Len()})
+}
+
+func goodParam(p *sim.Proc, vi *via.VI, r *via.Region) error {
+	// A *via.Region parameter is a conduit: its producer is checked at
+	// the caller.
+	d := &via.Descriptor{Op: via.OpRDMAWrite, Region: r, Len: r.Len()}
+	return vi.PostSend(p, d)
+}

@@ -1,0 +1,33 @@
+package simtime_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"dafsio/internal/analysis"
+	"dafsio/internal/analysis/analysistest"
+	"dafsio/internal/analysis/simtime"
+)
+
+func TestSimtime(t *testing.T) {
+	analysistest.Run(t, simtime.Analyzer, filepath.Join("testdata", "src", "a"))
+}
+
+// TestMatch pins the analyzer to the simulated tree: simulated packages
+// are covered, the cmd/ tree (which may report real wall time around a
+// run) is not.
+func TestMatch(t *testing.T) {
+	for path, want := range map[string]bool{
+		"dafsio/internal/sim":      true,
+		"dafsio/internal/via":      true,
+		"dafsio/internal/mpiio":    true,
+		"dafsio/internal/bench":    true,
+		"dafsio/cmd/mpiobench":     false,
+		"dafsio/internal/analysis": false,
+	} {
+		if got := simtime.Analyzer.Match(path); got != want {
+			t.Errorf("Match(%q) = %v, want %v", path, got, want)
+		}
+	}
+	var _ *analysis.Analyzer = simtime.Analyzer
+}

@@ -1,0 +1,32 @@
+// Fixture for the simtime analyzer: wall-clock time is forbidden,
+// duration arithmetic and formatting are not.
+package a
+
+import (
+	"fmt"
+	"time"
+)
+
+func bad() {
+	_ = time.Now()                   // want `wall-clock time\.Now in simulated code`
+	time.Sleep(5 * time.Millisecond) // want `wall-clock time\.Sleep in simulated code`
+	_ = time.Since(time.Time{})      // want `wall-clock time\.Since in simulated code`
+	_ = time.Until(time.Time{})      // want `wall-clock time\.Until in simulated code`
+	t := time.NewTimer(time.Second)  // want `wall-clock time\.NewTimer in simulated code`
+	defer t.Stop()
+	tick := time.NewTicker(time.Second) // want `wall-clock time\.NewTicker in simulated code`
+	defer tick.Stop()
+	<-time.After(time.Second) // want `wall-clock time\.After in simulated code`
+}
+
+func badValue() {
+	// Passing the clock as a value is as nondeterministic as calling it.
+	clock := time.Now // want `wall-clock time\.Now in simulated code`
+	_ = clock
+}
+
+func good() {
+	// Durations and formatting never read the host clock.
+	d := 250 * time.Microsecond
+	fmt.Println(d.Seconds(), time.Millisecond)
+}

@@ -2,6 +2,7 @@ package dafs
 
 import (
 	"fmt"
+	"slices"
 
 	"dafsio/internal/fabric"
 	"dafsio/internal/model"
@@ -224,13 +225,22 @@ func (c *Client) dispatch(p *sim.Proc) {
 	}
 }
 
-// fail marks the session broken and fails every pending call.
+// fail marks the session broken and fails every pending call. Pending
+// calls complete in XID (issue) order: delivering in map order would make
+// wakeup order — and therefore simulated time after a failure — differ
+// between runs.
 func (c *Client) fail(err error) {
 	if c.failErr == nil {
 		c.failErr = fmt.Errorf("%w: %v", ErrSession, err)
 	}
 	c.closed = true
-	for xid, call := range c.pending {
+	xids := make([]uint32, 0, len(c.pending))
+	for xid := range c.pending {
+		xids = append(xids, xid)
+	}
+	slices.Sort(xids)
+	for _, xid := range xids {
+		call := c.pending[xid]
 		delete(c.pending, xid)
 		c.credits.Release(1)
 		call.fut.Set(callResult{err: c.failErr})
@@ -285,9 +295,20 @@ func (c *Client) roundtrip(p *sim.Proc, proc Proc, enc func(w *wr)) (callResult,
 }
 
 // ---- Namespace and attribute operations ----
+//
+// Every metadata operation has an asynchronous Start form alongside the
+// blocking one, mirroring the data path's StartRead/StartWrite. A striped
+// driver talks to Width independent servers; issuing the per-server
+// Lookup/Setattr/Fsync concurrently and then collecting turns a
+// Width-proportional metadata latency into roughly one round trip.
 
-func (c *Client) lookupLike(p *sim.Proc, proc Proc, name string) (FH, Attr, error) {
-	res, err := c.roundtrip(p, proc, func(w *wr) { w.Str(name) })
+// NameOp is an in-flight Lookup or Create.
+type NameOp struct{ call *Call }
+
+// Wait blocks until the operation completes and returns the file handle
+// and attributes.
+func (o *NameOp) Wait(p *sim.Proc) (FH, Attr, error) {
+	res, err := o.call.wait(p)
 	if err != nil {
 		return 0, Attr{}, err
 	}
@@ -297,31 +318,12 @@ func (c *Client) lookupLike(p *sim.Proc, proc Proc, name string) (FH, Attr, erro
 	return fh, Attr{Size: size}, r.Err()
 }
 
-// Lookup resolves a name to a file handle and attributes.
-func (c *Client) Lookup(p *sim.Proc, name string) (FH, Attr, error) {
-	return c.lookupLike(p, ProcLookup, name)
-}
+// AttrOp is an in-flight Getattr.
+type AttrOp struct{ call *Call }
 
-// Create makes a new file and returns its handle.
-func (c *Client) Create(p *sim.Proc, name string) (FH, Attr, error) {
-	return c.lookupLike(p, ProcCreate, name)
-}
-
-// Remove deletes a file by name.
-func (c *Client) Remove(p *sim.Proc, name string) error {
-	_, err := c.roundtrip(p, ProcRemove, func(w *wr) { w.Str(name) })
-	return err
-}
-
-// Rename moves a file.
-func (c *Client) Rename(p *sim.Proc, from, to string) error {
-	_, err := c.roundtrip(p, ProcRename, func(w *wr) { w.Str(from); w.Str(to) })
-	return err
-}
-
-// Getattr fetches attributes.
-func (c *Client) Getattr(p *sim.Proc, fh FH) (Attr, error) {
-	res, err := c.roundtrip(p, ProcGetattr, func(w *wr) { w.U64(uint64(fh)) })
+// Wait blocks until the attributes arrive.
+func (o *AttrOp) Wait(p *sim.Proc) (Attr, error) {
+	res, err := o.call.wait(p)
 	if err != nil {
 		return Attr{}, err
 	}
@@ -330,17 +332,129 @@ func (c *Client) Getattr(p *sim.Proc, fh FH) (Attr, error) {
 	return a, r.Err()
 }
 
+// Ack is an in-flight operation whose response carries no payload
+// (Setattr, Fsync, Remove, Rename).
+type Ack struct{ call *Call }
+
+// Wait blocks until the server acknowledges the operation.
+func (o *Ack) Wait(p *sim.Proc) error {
+	_, err := o.call.wait(p)
+	return err
+}
+
+func (c *Client) startNameOp(p *sim.Proc, proc Proc, name string) (*NameOp, error) {
+	call, err := c.start(p, proc, func(w *wr) { w.Str(name) })
+	if err != nil {
+		return nil, err
+	}
+	return &NameOp{call: call}, nil
+}
+
+// StartLookup issues a Lookup without waiting.
+func (c *Client) StartLookup(p *sim.Proc, name string) (*NameOp, error) {
+	return c.startNameOp(p, ProcLookup, name)
+}
+
+// StartCreate issues a Create without waiting.
+func (c *Client) StartCreate(p *sim.Proc, name string) (*NameOp, error) {
+	return c.startNameOp(p, ProcCreate, name)
+}
+
+// Lookup resolves a name to a file handle and attributes.
+func (c *Client) Lookup(p *sim.Proc, name string) (FH, Attr, error) {
+	op, err := c.StartLookup(p, name)
+	if err != nil {
+		return 0, Attr{}, err
+	}
+	return op.Wait(p)
+}
+
+// Create makes a new file and returns its handle.
+func (c *Client) Create(p *sim.Proc, name string) (FH, Attr, error) {
+	op, err := c.StartCreate(p, name)
+	if err != nil {
+		return 0, Attr{}, err
+	}
+	return op.Wait(p)
+}
+
+// StartRemove issues a Remove without waiting.
+func (c *Client) StartRemove(p *sim.Proc, name string) (*Ack, error) {
+	call, err := c.start(p, ProcRemove, func(w *wr) { w.Str(name) })
+	if err != nil {
+		return nil, err
+	}
+	return &Ack{call: call}, nil
+}
+
+// Remove deletes a file by name.
+func (c *Client) Remove(p *sim.Proc, name string) error {
+	op, err := c.StartRemove(p, name)
+	if err != nil {
+		return err
+	}
+	return op.Wait(p)
+}
+
+// Rename moves a file.
+func (c *Client) Rename(p *sim.Proc, from, to string) error {
+	_, err := c.roundtrip(p, ProcRename, func(w *wr) { w.Str(from); w.Str(to) })
+	return err
+}
+
+// StartGetattr issues a Getattr without waiting.
+func (c *Client) StartGetattr(p *sim.Proc, fh FH) (*AttrOp, error) {
+	call, err := c.start(p, ProcGetattr, func(w *wr) { w.U64(uint64(fh)) })
+	if err != nil {
+		return nil, err
+	}
+	return &AttrOp{call: call}, nil
+}
+
+// Getattr fetches attributes.
+func (c *Client) Getattr(p *sim.Proc, fh FH) (Attr, error) {
+	op, err := c.StartGetattr(p, fh)
+	if err != nil {
+		return Attr{}, err
+	}
+	return op.Wait(p)
+}
+
+// StartSetattr issues a Setattr without waiting.
+func (c *Client) StartSetattr(p *sim.Proc, fh FH, size int64) (*Ack, error) {
+	call, err := c.start(p, ProcSetattr, func(w *wr) { w.U64(uint64(fh)); w.U64(uint64(size)) })
+	if err != nil {
+		return nil, err
+	}
+	return &Ack{call: call}, nil
+}
+
 // Setattr truncates (or extends) the file to size.
 func (c *Client) Setattr(p *sim.Proc, fh FH, size int64) error {
-	_, err := c.roundtrip(p, ProcSetattr, func(w *wr) { w.U64(uint64(fh)); w.U64(uint64(size)) })
-	return err
+	op, err := c.StartSetattr(p, fh, size)
+	if err != nil {
+		return err
+	}
+	return op.Wait(p)
+}
+
+// StartFsync issues an Fsync without waiting.
+func (c *Client) StartFsync(p *sim.Proc, fh FH) (*Ack, error) {
+	call, err := c.start(p, ProcFsync, func(w *wr) { w.U64(uint64(fh)) })
+	if err != nil {
+		return nil, err
+	}
+	return &Ack{call: call}, nil
 }
 
 // Fsync commits the file's data (a no-op timing-wise on the cached store,
 // a disk access on an uncached one).
 func (c *Client) Fsync(p *sim.Proc, fh FH) error {
-	_, err := c.roundtrip(p, ProcFsync, func(w *wr) { w.U64(uint64(fh)) })
-	return err
+	op, err := c.StartFsync(p, fh)
+	if err != nil {
+		return err
+	}
+	return op.Wait(p)
 }
 
 // Readdir lists up to max names starting at cookie; it returns the names

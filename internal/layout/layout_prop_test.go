@@ -1,0 +1,112 @@
+package layout
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestMapInversionProperty drives Map with seeded random extents over
+// random striping policies and checks the scatter/gather round trip: the
+// fragments of an extent, written into per-server stripe objects and read
+// back, must reassemble to the original bytes. Along the way it pins the
+// structural invariants every caller of Map leans on — logical-order
+// fragments, dense BufOffs, in-range servers, and stripe-bounded pieces.
+func TestMapInversionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260806))
+	for trial := 0; trial < 500; trial++ {
+		st := Striping{
+			StripeSize: 1 + rng.Int63n(1<<10),
+			Width:      1 + rng.Intn(8),
+		}
+		if err := st.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		off := rng.Int63n(8 << 10)
+		n := rng.Int63n(16 << 10)
+		data := make([]byte, n)
+		rng.Read(data)
+
+		frags := st.Map(off, n)
+
+		// Structural invariants.
+		var covered int64
+		for i, f := range frags {
+			if f.Server < 0 || f.Server >= st.Width {
+				t.Fatalf("trial %d: fragment %d on server %d, width %d", trial, i, f.Server, st.Width)
+			}
+			if f.Len <= 0 {
+				t.Fatalf("trial %d: fragment %d has length %d", trial, i, f.Len)
+			}
+			if st.Width > 1 && f.Len > st.StripeSize {
+				t.Fatalf("trial %d: fragment %d length %d exceeds stripe %d", trial, i, f.Len, st.StripeSize)
+			}
+			if f.BufOff != covered {
+				t.Fatalf("trial %d: fragment %d at buffer offset %d, want %d (fragments must be dense and in logical order)", trial, i, f.BufOff, covered)
+			}
+			covered += f.Len
+		}
+		if covered != n {
+			t.Fatalf("trial %d: fragments cover %d bytes of %d", trial, covered, n)
+		}
+
+		// Scatter into per-server objects, gather back: identity.
+		objects := make([][]byte, st.Width)
+		sizes := st.ObjectSizes(off + n)
+		for i := range objects {
+			objects[i] = make([]byte, sizes[i])
+		}
+		for _, f := range frags {
+			copy(objects[f.Server][f.Off:f.Off+f.Len], data[f.BufOff:f.BufOff+f.Len])
+		}
+		got := make([]byte, n)
+		for _, f := range frags {
+			copy(got[f.BufOff:f.BufOff+f.Len], objects[f.Server][f.Off:f.Off+f.Len])
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("trial %d: scatter/gather through %+v not the identity for extent (%d, %d)", trial, st, off, n)
+		}
+
+		// No two fragments of one extent may share object bytes: write a
+		// disjointness check through per-server interval sweeps.
+		for s := 0; s < st.Width; s++ {
+			type iv struct{ lo, hi int64 }
+			var ivs []iv
+			for _, f := range frags {
+				if f.Server == s {
+					ivs = append(ivs, iv{f.Off, f.Off + f.Len})
+				}
+			}
+			for i := 1; i < len(ivs); i++ {
+				if ivs[i].lo < ivs[i-1].hi {
+					t.Fatalf("trial %d: overlapping fragments on server %d: %+v", trial, s, ivs)
+				}
+			}
+		}
+	}
+}
+
+// TestObjectSizesInversionProperty checks LogicalSize(ObjectSizes(n)) == n
+// over seeded random sizes and policies, plus conservation: the per-server
+// objects of a dense n-byte file hold exactly n bytes.
+func TestObjectSizesInversionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 2000; trial++ {
+		st := Striping{
+			StripeSize: 1 + rng.Int63n(4<<10),
+			Width:      1 + rng.Intn(8),
+		}
+		n := rng.Int63n(1 << 20)
+		sizes := st.ObjectSizes(n)
+		var total int64
+		for _, z := range sizes {
+			total += z
+		}
+		if total != n {
+			t.Fatalf("trial %d: ObjectSizes(%d) sums to %d for %+v", trial, n, total, st)
+		}
+		if got := st.LogicalSize(sizes); got != n {
+			t.Fatalf("trial %d: LogicalSize(ObjectSizes(%d)) = %d for %+v", trial, n, got, st)
+		}
+	}
+}

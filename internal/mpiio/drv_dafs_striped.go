@@ -74,44 +74,117 @@ func (d *StripedDAFSDriver) Name() string {
 }
 
 // Open implements Driver: the file's stripe object is looked up (or
-// created) on every server, in server order.
+// created) on every server. The per-server Lookups go out concurrently —
+// the sessions are independent, so the latency is one round trip rather
+// than Width of them — and the Creates for the servers that reported
+// ErrNoEnt go out as a second concurrent wave.
 func (d *StripedDAFSDriver) Open(p *sim.Proc, name string, mode int) (Handle, error) {
 	if err := checkAccessMode(mode); err != nil {
 		return nil, err
 	}
-	fhs := make([]dafs.FH, len(d.clients))
+	lookups := make([]*dafs.NameOp, len(d.clients))
+	var startErr error
 	for i, c := range d.clients {
-		fh, _, err := c.Lookup(p, name)
+		op, err := c.StartLookup(p, name)
+		if err != nil {
+			startErr = err
+			break
+		}
+		lookups[i] = op
+	}
+	fhs := make([]dafs.FH, len(d.clients))
+	var missing []int // servers that need a Create
+	var opErr error
+	for i, op := range lookups {
+		if op == nil {
+			continue
+		}
+		fh, _, err := op.Wait(p)
 		switch {
 		case err == nil:
-			if mode&ModeExcl != 0 {
-				return nil, ErrExist
-			}
+			fhs[i] = fh
 		case errors.Is(err, dafs.ErrNoEnt) && mode&ModeCreate != 0:
-			fh, _, err = c.Create(p, name)
-			if err != nil {
-				return nil, mapDafsErr(err)
-			}
+			missing = append(missing, i)
 		default:
-			return nil, mapDafsErr(err)
+			if opErr == nil {
+				opErr = err
+			}
 		}
-		fhs[i] = fh
+	}
+	if startErr != nil {
+		return nil, mapDafsErr(startErr)
+	}
+	if opErr != nil {
+		return nil, mapDafsErr(opErr)
+	}
+	if mode&ModeExcl != 0 && len(missing) < len(d.clients) {
+		return nil, ErrExist
+	}
+	if len(missing) > 0 {
+		creates := make([]*dafs.NameOp, len(missing))
+		for j, i := range missing {
+			op, err := d.clients[i].StartCreate(p, name)
+			if err != nil {
+				startErr = err
+				break
+			}
+			creates[j] = op
+		}
+		for j, op := range creates {
+			if op == nil {
+				continue
+			}
+			fh, _, err := op.Wait(p)
+			if err != nil {
+				if opErr == nil {
+					opErr = err
+				}
+				continue
+			}
+			fhs[missing[j]] = fh
+		}
+		if startErr != nil {
+			return nil, mapDafsErr(startErr)
+		}
+		if opErr != nil {
+			return nil, mapDafsErr(opErr)
+		}
 	}
 	return &stripedHandle{drv: d, fhs: fhs, name: name, mode: mode}, nil
 }
 
-// Delete implements Driver: the stripe object is removed on every server.
+// Delete implements Driver: the stripe object is removed on every server,
+// all removals in flight at once.
 func (d *StripedDAFSDriver) Delete(p *sim.Proc, name string) error {
+	ops := make([]*dafs.Ack, len(d.clients))
+	var startErr error
+	for i, c := range d.clients {
+		op, err := c.StartRemove(p, name)
+		if err != nil {
+			startErr = err
+			break
+		}
+		ops[i] = op
+	}
 	missing := 0
-	for _, c := range d.clients {
-		err := c.Remove(p, name)
-		if errors.Is(err, dafs.ErrNoEnt) {
-			missing++
+	var opErr error
+	for _, op := range ops {
+		if op == nil {
 			continue
 		}
-		if err != nil {
-			return mapDafsErr(err)
+		err := op.Wait(p)
+		switch {
+		case errors.Is(err, dafs.ErrNoEnt):
+			missing++
+		case err != nil && opErr == nil:
+			opErr = err
 		}
+	}
+	if startErr != nil {
+		return mapDafsErr(startErr)
+	}
+	if opErr != nil {
+		return mapDafsErr(opErr)
 	}
 	if missing == len(d.clients) {
 		return ErrNoEnt
@@ -271,23 +344,47 @@ func (h *stripedHandle) WriteContig(p *sim.Proc, off int64, buf []byte) (int, er
 
 // Size implements Handle: the logical size is recovered from the
 // per-server stripe-object sizes through the layout's inverse mapping.
+// The Getattrs are issued concurrently across the session pool.
 func (h *stripedHandle) Size(p *sim.Proc) (int64, error) {
 	if h.closed {
 		return 0, ErrClosed
 	}
-	sizes := make([]int64, len(h.fhs))
+	ops := make([]*dafs.AttrOp, len(h.fhs))
+	var startErr error
 	for i, c := range h.drv.clients {
-		attr, err := c.Getattr(p, h.fhs[i])
+		op, err := c.StartGetattr(p, h.fhs[i])
 		if err != nil {
-			return 0, mapDafsErr(err)
+			startErr = err
+			break
+		}
+		ops[i] = op
+	}
+	sizes := make([]int64, len(h.fhs))
+	var opErr error
+	for i, op := range ops {
+		if op == nil {
+			continue
+		}
+		attr, err := op.Wait(p)
+		if err != nil {
+			if opErr == nil {
+				opErr = err
+			}
+			continue
 		}
 		sizes[i] = attr.Size
+	}
+	if startErr != nil {
+		return 0, mapDafsErr(startErr)
+	}
+	if opErr != nil {
+		return 0, mapDafsErr(opErr)
 	}
 	return h.drv.striping.LogicalSize(sizes), nil
 }
 
 // Resize implements Handle: each server's object is set to its share of
-// the logical size.
+// the logical size, all Setattrs in flight at once.
 func (h *stripedHandle) Resize(p *sim.Proc, n int64) error {
 	if h.closed {
 		return ErrClosed
@@ -295,23 +392,55 @@ func (h *stripedHandle) Resize(p *sim.Proc, n int64) error {
 	if n < 0 {
 		return ErrNegative
 	}
+	ops := make([]*dafs.Ack, len(h.fhs))
+	var startErr error
 	for i, z := range h.drv.striping.ObjectSizes(n) {
-		if err := h.drv.clients[i].Setattr(p, h.fhs[i], z); err != nil {
-			return mapDafsErr(err)
+		op, err := h.drv.clients[i].StartSetattr(p, h.fhs[i], z)
+		if err != nil {
+			startErr = err
+			break
 		}
+		ops[i] = op
 	}
-	return nil
+	return h.waitAcks(p, ops, startErr)
 }
 
-// Sync implements Handle.
+// Sync implements Handle: every server's Fsync is in flight at once.
 func (h *stripedHandle) Sync(p *sim.Proc) error {
 	if h.closed {
 		return ErrClosed
 	}
+	ops := make([]*dafs.Ack, len(h.fhs))
+	var startErr error
 	for i, c := range h.drv.clients {
-		if err := c.Fsync(p, h.fhs[i]); err != nil {
-			return mapDafsErr(err)
+		op, err := c.StartFsync(p, h.fhs[i])
+		if err != nil {
+			startErr = err
+			break
 		}
+		ops[i] = op
+	}
+	return h.waitAcks(p, ops, startErr)
+}
+
+// waitAcks drains a wave of acknowledgement-only operations. Every
+// launched op is waited on even after a failure — the completions recycle
+// session credits — and the first error wins, issue failures first.
+func (h *stripedHandle) waitAcks(p *sim.Proc, ops []*dafs.Ack, startErr error) error {
+	var opErr error
+	for _, op := range ops {
+		if op == nil {
+			continue
+		}
+		if err := op.Wait(p); err != nil && opErr == nil {
+			opErr = err
+		}
+	}
+	if startErr != nil {
+		return mapDafsErr(startErr)
+	}
+	if opErr != nil {
+		return mapDafsErr(opErr)
 	}
 	return nil
 }

@@ -180,7 +180,7 @@ func (vi *VI) PostSend(p *sim.Proc, d *Descriptor) error {
 	case OpRDMARead:
 		vi.NIC.stats.RDMAReads++
 	default:
-		return fmt.Errorf("via: PostSend with op %v", d.Op)
+		return fmt.Errorf("%w: PostSend with op %v", ErrBadOp, d.Op)
 	}
 	d.vi = vi
 	vi.NIC.Node.Compute(p, vi.NIC.prov.Prof.DoorbellCost)

@@ -63,6 +63,7 @@ var (
 	ErrRecvUnderrun  = errors.New("via: receive queue underrun")
 	ErrRecvTooSmall  = errors.New("via: receive buffer smaller than message")
 	ErrVIError       = errors.New("via: VI in error state")
+	ErrBadOp         = errors.New("via: invalid descriptor operation")
 )
 
 // Provider owns all NICs on one fabric.
