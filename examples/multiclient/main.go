@@ -15,15 +15,18 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"dafsio/internal/cluster"
 	"dafsio/internal/layout"
 	"dafsio/internal/mpiio"
 	"dafsio/internal/sim"
 	"dafsio/internal/stats"
+	"dafsio/internal/trace"
 )
 
 const (
@@ -36,7 +39,17 @@ const (
 // reports aggregate write bandwidth plus server-0 CPU utilization during
 // the transfer.
 func point(n, servers int, nfsStack bool) (float64, float64) {
-	c := cluster.New(cluster.Config{Clients: n, Servers: servers, DAFS: !nfsStack, NFS: nfsStack})
+	bw, cpu, _, _ := pointRun(n, servers, nfsStack, false)
+	return bw, cpu
+}
+
+// pointRun is point with optional cross-layer tracing (DAFS runs only).
+func pointRun(n, servers int, nfsStack, traced bool) (float64, float64, *trace.Tracer, sim.Time) {
+	cfg := cluster.Config{Clients: n, Servers: servers, DAFS: !nfsStack, NFS: nfsStack}
+	if traced {
+		cfg.Tracer = trace.New
+	}
+	c := cluster.New(cfg)
 	st := layout.Striping{StripeSize: stripeSize, Width: servers}
 	ready := sim.NewWaitGroup(c.K, n)
 	var start, end sim.Time
@@ -113,11 +126,13 @@ func point(n, servers int, nfsStack bool) (float64, float64) {
 	}
 	elapsed := end - start
 	return stats.MBps(int64(n)*perClient, elapsed),
-		float64(c.ServerNode.CPU.BusyTime()-cpu0) / float64(elapsed)
+		float64(c.ServerNode.CPU.BusyTime()-cpu0) / float64(elapsed),
+		c.Tracer, elapsed
 }
 
 func main() {
 	servers := flag.Int("servers", 1, "number of DAFS servers (files striped across them when > 1)")
+	traceOut := flag.String("trace", "", "re-run the 4-client DAFS point traced and write a Chrome trace JSON here")
 	flag.Parse()
 	if *servers < 1 {
 		log.Fatalf("-servers %d: need at least one", *servers)
@@ -133,5 +148,25 @@ func main() {
 		fmt.Printf("\nStriping across %d servers lifts the DAFS ceiling past the single NIC; NFS stays pinned to one server.\n", *servers)
 	} else {
 		fmt.Println("\nDAFS fills the server link at a few percent CPU; NFS saturates the server CPU.")
+	}
+	if *traceOut != "" {
+		_, _, tr, elapsed := pointRun(4, *servers, false, true)
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		w := bufio.NewWriter(f)
+		if err := tr.WriteChrome(w); err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		if err := w.Flush(); err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		fmt.Println()
+		tr.BreakdownTable(elapsed).Fprint(os.Stdout)
+		fmt.Printf("\nwrote %s (open in https://ui.perfetto.dev)\n", *traceOut)
 	}
 }

@@ -49,6 +49,7 @@ var simulatedTree = []string{
 	"dafsio/internal/bench",
 	"dafsio/internal/wire",
 	"dafsio/internal/stats",
+	"dafsio/internal/trace",
 }
 
 // Analyzer is the simtime pass.

@@ -13,6 +13,13 @@ func TestSimtime(t *testing.T) {
 	analysistest.Run(t, simtime.Analyzer, filepath.Join("testdata", "src", "a"))
 }
 
+// TestSimtimeTracer runs the tracer-shaped fixture: span recording must
+// read only virtual time, so a wall clock anywhere in span begin/end or
+// export code is flagged.
+func TestSimtimeTracer(t *testing.T) {
+	analysistest.Run(t, simtime.Analyzer, filepath.Join("testdata", "src", "tracer"))
+}
+
 // TestMatch pins the analyzer to the simulated tree: simulated packages
 // are covered, the cmd/ tree (which may report real wall time around a
 // run) is not.
@@ -22,6 +29,7 @@ func TestMatch(t *testing.T) {
 		"dafsio/internal/via":      true,
 		"dafsio/internal/mpiio":    true,
 		"dafsio/internal/bench":    true,
+		"dafsio/internal/trace":    true,
 		"dafsio/cmd/mpiobench":     false,
 		"dafsio/internal/analysis": false,
 	} {

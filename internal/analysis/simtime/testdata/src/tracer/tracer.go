@@ -1,0 +1,42 @@
+// Fixture shaped like the span tracer: observability code is part of the
+// simulated tree (dafsio/internal/trace), so timestamps must come from the
+// kernel's virtual clock. A wall-clock read in span begin/end would stamp
+// host time into the trace and break byte-identical exports.
+package tracer
+
+import "time"
+
+type span struct {
+	op         string
+	start, end int64
+}
+
+type tracer struct {
+	spans []span
+}
+
+// beginBad stamps the host clock into a span.
+func (t *tracer) beginBad(op string) int {
+	t.spans = append(t.spans, span{op: op, start: time.Now().UnixNano()}) // want `wall-clock time\.Now in simulated code`
+	return len(t.spans) - 1
+}
+
+// endBad measures a span with the host clock.
+func (t *tracer) endBad(id int, began time.Time) {
+	t.spans[id].end = int64(time.Since(began)) // want `wall-clock time\.Since in simulated code`
+}
+
+// flushBad throttles exports against host time.
+func (t *tracer) flushBad() {
+	time.Sleep(10 * time.Millisecond) // want `wall-clock time\.Sleep in simulated code`
+}
+
+// beginGood takes the virtual timestamp from the caller (the kernel's
+// clock), which is how the real tracer works.
+func (t *tracer) beginGood(op string, now int64) int {
+	t.spans = append(t.spans, span{op: op, start: now})
+	return len(t.spans) - 1
+}
+
+// durGood: duration arithmetic and constants never read the host clock.
+func durGood(d time.Duration) float64 { return d.Seconds() }

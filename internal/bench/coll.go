@@ -7,6 +7,7 @@ import (
 	"dafsio/internal/mpiio"
 	"dafsio/internal/sim"
 	"dafsio/internal/stats"
+	"dafsio/internal/trace"
 )
 
 // collMethod selects how the interleaved pattern is written.
@@ -22,12 +23,23 @@ const (
 // collPoint writes a 4-rank interleaved pattern with the given block
 // granularity and method and returns the effective aggregate bandwidth.
 func collPoint(blockSize int64, method collMethod) float64 {
+	bw, _, _, _ := collRun(blockSize, method, false)
+	return bw
+}
+
+// collRun is collPoint with optional tracing; it returns the bandwidth, the
+// measured window, and the tracer (nil when traced is false).
+func collRun(blockSize int64, method collMethod, traced bool) (float64, sim.Time, sim.Time, *trace.Tracer) {
 	const (
 		nranks  = 4
 		perRank = 1 << 20 // 1MB each, 4MB total
 	)
 	blocks := perRank / blockSize
-	c := cluster.New(cluster.Config{Clients: nranks, DAFS: true, MPI: true})
+	cfg := cluster.Config{Clients: nranks, DAFS: true, MPI: true}
+	if traced {
+		cfg.Tracer = trace.New
+	}
+	c := cluster.New(cfg)
 	var start, end sim.Time
 	started := sim.NewWaitGroup(c.K, nranks)
 	err := c.SpawnClients(func(p *sim.Proc, i int) {
@@ -71,7 +83,7 @@ func collPoint(blockSize int64, method collMethod) float64 {
 	if err != nil {
 		panic(err)
 	}
-	return stats.MBps(nranks*perRank, end-start)
+	return stats.MBps(nranks*perRank, end-start), start, end, c.Tracer
 }
 
 // T6Collective reproduces the collective-I/O figure: two-phase collective

@@ -7,6 +7,7 @@ import (
 	"dafsio/internal/mpiio"
 	"dafsio/internal/sim"
 	"dafsio/internal/stats"
+	"dafsio/internal/trace"
 	"dafsio/internal/via"
 )
 
@@ -14,21 +15,27 @@ import (
 type viaPair struct {
 	k          *sim.Kernel
 	prof       *model.Profile
+	tr         *trace.Tracer
 	nicA, nicB *via.NIC
 	viA, viB   *via.VI
 }
 
-func newViaPair() *viaPair {
+func newViaPair() *viaPair { return newViaPairTraced(false) }
+
+func newViaPairTraced(traced bool) *viaPair {
 	prof := model.CLAN1998()
 	k := sim.NewKernel()
 	fab := fabric.New(k, prof)
 	prov := via.NewProvider(fab)
+	if traced {
+		prov.Tracer = trace.New(k)
+	}
 	nicA := prov.NewNIC(fab.AddNode("a"))
 	nicB := prov.NewNIC(fab.AddNode("b"))
 	viA := nicA.NewVI(nicA.NewCQ("a.s"), nicA.NewCQ("a.r"))
 	viB := nicB.NewVI(nicB.NewCQ("b.s"), nicB.NewCQ("b.r"))
 	via.Connect(viA, viB)
-	return &viaPair{k: k, prof: prof, nicA: nicA, nicB: nicB, viA: viA, viB: viB}
+	return &viaPair{k: k, prof: prof, tr: prov.Tracer, nicA: nicA, nicB: nicB, viA: viA, viB: viB}
 }
 
 // pingpongOneWay measures half the ping-pong round trip for one size.

@@ -6,6 +6,7 @@ import (
 	"dafsio/internal/mpiio"
 	"dafsio/internal/sim"
 	"dafsio/internal/stats"
+	"dafsio/internal/trace"
 )
 
 // Striping parameters for T15: 64KB stripes, so a 256KB request fans out
@@ -58,8 +59,19 @@ func openDafsStriped(p *sim.Proc, c *cluster.Cluster, client int, st layout.Stri
 // 256KB requests, every request dispatched as concurrent per-server
 // stripe fragments. Same gating discipline as scalePoint.
 func stripePoint(n, s int, write bool) float64 {
+	bw, _, _, _ := stripeRun(n, s, write, false)
+	return bw
+}
+
+// stripeRun is stripePoint with optional tracing; it returns the bandwidth,
+// the measured window, and the tracer (nil when traced is false).
+func stripeRun(n, s int, write, traced bool) (float64, sim.Time, sim.Time, *trace.Tracer) {
 	st := layout.Striping{StripeSize: stripeSize, Width: s}
-	c := cluster.New(cluster.Config{Clients: n, Servers: s, DAFS: true})
+	cfg := cluster.Config{Clients: n, Servers: s, DAFS: true}
+	if traced {
+		cfg.Tracer = trace.New
+	}
+	c := cluster.New(cfg)
 	total := int64(n) * stripePer
 	if write {
 		prefillStriped(c, "striped", 0, st) // create empty stripe objects
@@ -106,7 +118,7 @@ func stripePoint(n, s int, write bool) float64 {
 	if err != nil {
 		panic(err)
 	}
-	return stats.MBps(total, end-start)
+	return stats.MBps(total, end-start), start, end, c.Tracer
 }
 
 // t15Table runs the striped-scaling grid for the given client and server

@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"dafsio/internal/sim"
+	"dafsio/internal/stats"
+	"dafsio/internal/trace"
+	"dafsio/internal/via"
+)
+
+// TracedResult is one experiment run recorded with cross-layer tracing.
+// Tracing is observational, so MBps matches the untraced experiment exactly
+// (pinned by TestTracedMatchesUntraced).
+type TracedResult struct {
+	ID     string
+	MBps   float64
+	Start  sim.Time // measured window: after warm-up and the ready barrier
+	End    sim.Time
+	Tracer *trace.Tracer
+}
+
+// Elapsed returns the measured window's length.
+func (r TracedResult) Elapsed() sim.Time { return r.End - r.Start }
+
+// BreakdownTable renders the run's per-category time breakdown.
+func (r TracedResult) BreakdownTable() *stats.Table {
+	return r.Tracer.BreakdownTable(r.Elapsed())
+}
+
+// TracedT1 re-runs T1's streaming-send microbenchmark (64KB messages) with
+// tracing: the span tree bottoms out at the VIA layer, descriptors and wire
+// messages only.
+func TracedT1() TracedResult {
+	const size, count = 65536, 16
+	v := newViaPairTraced(true)
+	var start, end sim.Time
+	v.k.Spawn("rx", func(p *sim.Proc) {
+		r := v.nicB.Register(p, make([]byte, size))
+		for i := 0; i < count; i++ {
+			v.viB.PostRecv(p, &via.Descriptor{Region: r, Len: size})
+		}
+		for i := 0; i < count; i++ {
+			v.viB.RecvCQ.Wait(p)
+		}
+		end = p.Now()
+	})
+	v.k.Spawn("tx", func(p *sim.Proc) {
+		r := v.nicA.Register(p, make([]byte, size))
+		start = p.Now()
+		for i := 0; i < count; i++ {
+			v.viA.PostSend(p, &via.Descriptor{Op: via.OpSend, Region: r, Len: size})
+		}
+		for i := 0; i < count; i++ {
+			v.viA.SendCQ.Wait(p)
+		}
+	})
+	if err := v.k.Run(); err != nil {
+		panic(err)
+	}
+	return TracedResult{
+		ID:    "T1",
+		MBps:  stats.MBps(int64(size)*count, end-start),
+		Start: start, End: end, Tracer: v.tr,
+	}
+}
+
+// TracedT6 re-runs T6's two-phase collective write (2KB interleave) with
+// tracing: MPI-IO spans over the full DAFS/VIA stack, four ranks.
+func TracedT6() TracedResult {
+	bw, start, end, tr := collRun(2048, methodTwoPhase, true)
+	return TracedResult{ID: "T6", MBps: bw, Start: start, End: end, Tracer: tr}
+}
+
+// TracedT15 re-runs one T15 striped-read point with tracing: clients
+// streaming a shared striped file, per-stripe fan-out across servers.
+func TracedT15(clients, servers int) TracedResult {
+	bw, start, end, tr := stripeRun(clients, servers, false, true)
+	return TracedResult{ID: "T15", MBps: bw, Start: start, End: end, Tracer: tr}
+}

@@ -21,6 +21,7 @@ import (
 	"dafsio/internal/nfs"
 	"dafsio/internal/sim"
 	"dafsio/internal/storage"
+	"dafsio/internal/trace"
 	"dafsio/internal/via"
 )
 
@@ -47,6 +48,11 @@ type Config struct {
 	// DAFSOptions / NFSOptions tune the servers.
 	DAFSOptions *dafs.ServerOptions
 	NFSOptions  *nfs.ServerOptions
+	// Tracer, when non-nil, records cross-layer spans for every DAFS/VIA
+	// operation in the cluster. It must be built on the cluster's kernel —
+	// use NewTraced, which handles the ordering. Tracing is observational:
+	// simulated timing is identical with it on or off.
+	Tracer func(k *sim.Kernel) *trace.Tracer
 }
 
 // Cluster is the assembled testbed.
@@ -73,6 +79,8 @@ type Cluster struct {
 	NICs        []*via.NIC      // per client (when DAFS or MPI)
 	Stacks      []*kstack.Stack // per client (when NFS)
 	World       *mpi.World      // when MPI
+
+	Tracer *trace.Tracer // non-nil when the config enabled tracing
 }
 
 // New builds a cluster.
@@ -99,6 +107,12 @@ func New(cfg Config) *Cluster {
 		Store: storage.NewStore(),
 	}
 	c.Prov = via.NewProvider(c.Fab)
+	if cfg.Tracer != nil {
+		// The tracer must exist before any NIC or server is built: they
+		// capture the provider's tracer at construction.
+		c.Tracer = cfg.Tracer(k)
+		c.Prov.Tracer = c.Tracer
+	}
 	// Server 0 keeps the seed topology's names and construction order so
 	// single-server experiments are bit-for-bit unchanged; extra servers
 	// follow the same recipe with their own node, store, and disk.
@@ -180,7 +194,12 @@ func (c *Cluster) DialDAFSServer(p *sim.Proc, i, s int, opts *dafs.Options) (*da
 	if s < 0 || s >= len(c.DAFSSrvs) {
 		return nil, fmt.Errorf("cluster: no DAFS server %d (have %d)", s, len(c.DAFSSrvs))
 	}
-	return dafs.Dial(p, c.NICs[i], c.DAFSSrvs[s], opts)
+	cl, err := dafs.Dial(p, c.NICs[i], c.DAFSSrvs[s], opts)
+	if err != nil {
+		return nil, err
+	}
+	cl.SetTraceServer(s)
+	return cl, nil
 }
 
 // DialDAFSAll opens one session from client i to every DAFS server, in

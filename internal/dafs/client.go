@@ -7,6 +7,7 @@ import (
 	"dafsio/internal/fabric"
 	"dafsio/internal/model"
 	"dafsio/internal/sim"
+	"dafsio/internal/trace"
 	"dafsio/internal/via"
 )
 
@@ -61,6 +62,7 @@ type callResult struct {
 type Call struct {
 	c   *Client
 	fut *sim.Future[callResult]
+	op  trace.OpID // request span: issue -> response decoded (0: untraced)
 }
 
 // wait blocks until the response arrives and returns the decoded result.
@@ -92,6 +94,9 @@ type Client struct {
 	maxInline int
 	slotSize  int
 
+	tr          *trace.Tracer
+	traceServer int // server index stamped on request spans (-1: untagged)
+
 	closed  bool
 	failErr error
 	stats   ClientStats
@@ -104,13 +109,15 @@ func Dial(p *sim.Proc, nic *via.NIC, srv *Server, opts *Options) (*Client, error
 	o := opts.withDefaults()
 	prov := nic.Provider()
 	c := &Client{
-		nic:       nic,
-		node:      nic.Node,
-		prof:      prov.Prof,
-		k:         prov.K,
-		pending:   make(map[uint32]*Call),
-		maxInline: o.MaxInline,
-		slotSize:  HeaderLen + 512 + o.MaxInline,
+		nic:         nic,
+		node:        nic.Node,
+		prof:        prov.Prof,
+		k:           prov.K,
+		pending:     make(map[uint32]*Call),
+		maxInline:   o.MaxInline,
+		slotSize:    HeaderLen + 512 + o.MaxInline,
+		tr:          prov.Tracer,
+		traceServer: -1,
 	}
 	c.cq = nic.NewCQ(nic.Node.Name + ".dafs.cq")
 	c.vi = nic.NewVI(c.cq, c.cq)
@@ -166,6 +173,15 @@ func (c *Client) Node() *fabric.Node { return c.node }
 // MaxInline returns the negotiated inline data limit.
 func (c *Client) MaxInline() int { return c.maxInline }
 
+// Tracer returns the provider tracer the session records to (nil when
+// tracing is off).
+func (c *Client) Tracer() *trace.Tracer { return c.tr }
+
+// SetTraceServer tags every subsequent request span with the given server
+// index, so a striped driver's per-stripe fan-out is attributable in the
+// trace. -1 (the default) leaves spans untagged.
+func (c *Client) SetTraceServer(s int) { c.traceServer = s }
+
 // MaxBatch returns the largest segment list one batch request can carry on
 // this session (bounded by the protocol limit and the message size).
 func (c *Client) MaxBatch() int {
@@ -200,6 +216,12 @@ func (c *Client) dispatch(p *sim.Proc) {
 				c.fail(err)
 				continue
 			}
+			call := c.pending[hdr.XID]
+			var callOp trace.OpID
+			if call != nil {
+				callOp = call.op
+			}
+			t0 := p.Now()
 			c.node.Compute(p, c.prof.MarshalCost)
 			body := make([]byte, hdr.BodyLen)
 			copy(body, msg[HeaderLen:HeaderLen+int(hdr.BodyLen)])
@@ -208,10 +230,10 @@ func (c *Client) dispatch(p *sim.Proc) {
 				// buffer: the inline path's receive-side copy.
 				c.node.Compute(p, c.prof.CopyTime(int(hdr.BodyLen)))
 			}
+			c.tr.Charge(callOp, trace.CatClientCPU, p.Now()-t0)
 			if err := c.vi.PostRecv(p, &via.Descriptor{Region: s.reg, Offset: s.off, Len: s.size, Ctx: s}); err != nil {
 				c.fail(err)
 			}
-			call := c.pending[hdr.XID]
 			delete(c.pending, hdr.XID)
 			if call != nil {
 				// The credit frees when the response arrives, not when
@@ -219,6 +241,7 @@ func (c *Client) dispatch(p *sim.Proc) {
 				// requests than credits must not deadlock against
 				// itself.
 				c.credits.Release(1)
+				c.tr.End(call.op)
 				call.fut.Set(callResult{status: hdr.Status, body: body})
 			}
 		}
@@ -243,6 +266,7 @@ func (c *Client) fail(err error) {
 		call := c.pending[xid]
 		delete(c.pending, xid)
 		c.credits.Release(1)
+		c.tr.End(call.op)
 		call.fut.Set(callResult{err: c.failErr})
 	}
 }
@@ -255,30 +279,42 @@ func (c *Client) start(p *sim.Proc, proc Proc, enc func(w *wr)) (*Call, error) {
 		}
 		return nil, ErrClosed
 	}
+	// The request span opens before the credit wait so that session-level
+	// backpressure shows up as queue time on the operation that suffered it.
+	op := c.tr.BeginTagged(c.node.Name, trace.LayerDAFS, proc.String(), trace.OpID(p.TraceCtx()), 0, c.traceServer)
+	t0 := p.Now()
 	c.credits.Acquire(p, 1)
 	s, _ := c.reqPool.Recv(p)
+	c.tr.Charge(op, trace.CatQueue, p.Now()-t0)
 	buf := s.bytes()
 	w := newWr(buf[HeaderLen:])
 	enc(w)
 	if w.Err() != nil {
 		c.reqPool.Send(p, s)
 		c.credits.Release(1)
+		c.tr.End(op)
 		return nil, w.Err()
 	}
 	c.nextXID++
 	xid := c.nextXID
+	c.tr.SetXID(op, uint64(xid))
 	n := HeaderLen + w.Len()
 	encodeHeader(buf, Header{Proc: proc, XID: xid, BodyLen: uint32(w.Len())})
 	// Building the request: marshal plus the copy into registered memory
 	// (for inline writes this is the send-side data copy).
+	t1 := p.Now()
 	c.node.Compute(p, c.prof.MarshalCost+c.prof.CopyTime(n))
-	call := &Call{c: c, fut: sim.NewFuture[callResult](c.k)}
+	c.tr.Charge(op, trace.CatClientCPU, p.Now()-t1)
+	call := &Call{c: c, fut: sim.NewFuture[callResult](c.k), op: op}
 	c.pending[xid] = call
+	old := p.SetTraceCtx(uint64(op))
 	err := c.vi.PostSend(p, &via.Descriptor{Op: via.OpSend, Region: s.reg, Offset: s.off, Len: n, Ctx: s})
+	p.SetTraceCtx(old)
 	if err != nil {
 		delete(c.pending, xid)
 		c.reqPool.Send(p, s)
 		c.credits.Release(1)
+		c.tr.End(op)
 		return nil, err
 	}
 	c.stats.Ops++

@@ -7,6 +7,7 @@ import (
 	"dafsio/internal/model"
 	"dafsio/internal/sim"
 	"dafsio/internal/storage"
+	"dafsio/internal/trace"
 	"dafsio/internal/via"
 )
 
@@ -49,6 +50,7 @@ type Server struct {
 	workQ    *sim.Chan[*srvReq]
 	sessions []*session
 
+	tr    *trace.Tracer
 	stats ServerStats
 }
 
@@ -67,6 +69,9 @@ type srvReq struct {
 	sess   *session
 	s      *slot
 	length int
+
+	parent trace.OpID // client-side descriptor span the request rode in on
+	at     sim.Time   // arrival time (request delivery, before queueing)
 }
 
 // Completion-routing context types (see dispatch).
@@ -100,6 +105,7 @@ func NewServer(nic *via.NIC, store *storage.Store, opts *ServerOptions) *Server 
 		store: store,
 		disk:  disk,
 		workQ: sim.NewChan[*srvReq](prov.K, 0),
+		tr:    prov.Tracer,
 	}
 	s.cq = nic.NewCQ(nic.Node.Name + ".dafs.cq")
 	s.k.SpawnDaemon(nic.Node.Name+".dafs.dispatch", s.dispatch)
@@ -163,7 +169,7 @@ func (s *Server) dispatch(p *sim.Proc) {
 				ctx.sess.closed = true
 				continue
 			}
-			s.workQ.Send(p, &srvReq{sess: ctx.sess, s: ctx.s, length: comp.Len})
+			s.workQ.Send(p, &srvReq{sess: ctx.sess, s: ctx.s, length: comp.Len, parent: comp.Trace, at: p.Now()})
 		case *respCtx:
 			ctx.sess.respPool.Send(p, ctx.s)
 		case *sim.Future[via.Completion]:
@@ -187,13 +193,28 @@ func (s *Server) handle(p *sim.Proc, req *srvReq) {
 	sess := req.sess
 	msg := req.s.bytes()[:req.length]
 	hdr, err := decodeHeader(msg)
-	s.node.Compute(p, s.prof.MarshalCost)
 	if err != nil {
+		s.node.Compute(p, s.prof.MarshalCost)
 		sess.closed = true
 		return
 	}
+	// The execution span starts at request arrival, so worker-pool wait is
+	// inside the span (charged to queue); it parents to the client-side
+	// send descriptor that carried the request, joining the trees across
+	// nodes. The span becomes the proc's trace context so the RDMA and
+	// response descriptors the handler posts parent back to it.
+	op := s.tr.BeginAt(s.node.Name, trace.LayerServer, hdr.Proc.String(), req.parent, uint64(hdr.XID), -1, req.at)
+	t0 := p.Now()
+	s.tr.Charge(op, trace.CatQueue, t0-req.at)
+	oldCtx := p.SetTraceCtx(uint64(op))
+	defer func() {
+		p.SetTraceCtx(oldCtx)
+		s.tr.End(op)
+	}()
+	s.node.Compute(p, s.prof.MarshalCost)
 	body := msg[HeaderLen : HeaderLen+int(hdr.BodyLen)]
 	s.node.Compute(p, s.prof.DAFSOpCost)
+	s.tr.Charge(op, trace.CatServerCPU, p.Now()-t0)
 	st, enc := s.exec(p, sess, hdr.Proc, newRd(body))
 
 	rs, _ := sess.respPool.Recv(p)
@@ -206,7 +227,9 @@ func (s *Server) handle(p *sim.Proc, req *srvReq) {
 		st, w = StatusProto, newWr(out[HeaderLen:])
 	}
 	encodeHeader(out, Header{Proc: hdr.Proc, XID: hdr.XID, Status: st, BodyLen: uint32(w.Len())})
+	t1 := p.Now()
 	s.node.Compute(p, s.prof.MarshalCost)
+	s.tr.Charge(op, trace.CatServerCPU, p.Now()-t1)
 
 	// Re-post the request buffer before replying so the credit the client
 	// recovers on this response always finds a posted receive.
@@ -318,7 +341,9 @@ func (s *Server) exec(p *sim.Proc, sess *session, proc Proc, r *rd) (Status, fun
 		s.touchDisk(p, off, n)
 		// Server CPU copies out of the buffer cache into the response
 		// message: the inline path's server-side copy.
+		t0 := p.Now()
 		s.node.Compute(p, sim.TransferTime(int64(n), s.prof.ServerMemBW))
+		s.chargeCPU(p, p.Now()-t0)
 		s.stats.InlineReads++
 		s.stats.InlineReadBytes += int64(n)
 		return StatusOK, func(w *wr) {
@@ -339,7 +364,9 @@ func (s *Server) exec(p *sim.Proc, sess *session, proc Proc, r *rd) (Status, fun
 			return StatusTooBig, nil
 		}
 		s.touchDisk(p, off, len(data))
+		t0 := p.Now()
 		s.node.Compute(p, sim.TransferTime(int64(len(data)), s.prof.ServerMemBW))
+		s.chargeCPU(p, p.Now()-t0)
 		n := f.WriteAt(data, off)
 		s.stats.InlineWrites++
 		s.stats.InlineWriteBytes += int64(n)
@@ -355,7 +382,9 @@ func (s *Server) exec(p *sim.Proc, sess *session, proc Proc, r *rd) (Status, fun
 			return StatusTooBig, nil
 		}
 		s.touchDisk(p, f.Size(), len(data))
+		t0 := p.Now()
 		s.node.Compute(p, sim.TransferTime(int64(len(data)), s.prof.ServerMemBW))
+		s.chargeCPU(p, p.Now()-t0)
 		// Size read and write are adjacent with no intervening yield, so
 		// concurrent appends never interleave destructively.
 		off := f.Size()
@@ -506,7 +535,11 @@ func (s *Server) exec(p *sim.Proc, sess *session, proc Proc, r *rd) (Status, fun
 			return st, nil
 		}
 		if s.disk != nil {
+			op := s.tr.Begin(s.node.Name, trace.LayerDisk, "fsync", trace.OpID(p.TraceCtx()))
+			t0 := p.Now()
 			s.disk.Access(p, 0)
+			s.tr.Charge(op, trace.CatDisk, p.Now()-t0)
+			s.tr.End(op)
 		}
 		return StatusOK, nil
 
@@ -615,7 +648,18 @@ func clampCount(size, off int64, count int) int {
 // touchDisk charges a disk access on uncached servers; sequential
 // accesses skip the positioning time.
 func (s *Server) touchDisk(p *sim.Proc, off int64, n int) {
-	if s.disk != nil && n > 0 {
-		s.disk.AccessAt(p, off, n)
+	if s.disk == nil || n <= 0 {
+		return
 	}
+	op := s.tr.Begin(s.node.Name, trace.LayerDisk, "access", trace.OpID(p.TraceCtx()))
+	t0 := p.Now()
+	s.disk.AccessAt(p, off, n)
+	s.tr.Charge(op, trace.CatDisk, p.Now()-t0)
+	s.tr.End(op)
+}
+
+// chargeCPU attributes already-elapsed server CPU time to the request span
+// the worker is executing (carried in the proc's trace context).
+func (s *Server) chargeCPU(p *sim.Proc, d sim.Time) {
+	s.tr.Charge(trace.OpID(p.TraceCtx()), trace.CatServerCPU, d)
 }

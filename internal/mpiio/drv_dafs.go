@@ -8,6 +8,7 @@ import (
 	"dafsio/internal/dafs"
 	"dafsio/internal/fabric"
 	"dafsio/internal/sim"
+	"dafsio/internal/trace"
 	"dafsio/internal/via"
 )
 
@@ -56,6 +57,10 @@ func NewDAFSDriver(client *dafs.Client) *DAFSDriver {
 
 // Client returns the underlying session.
 func (d *DAFSDriver) Client() *dafs.Client { return d.client }
+
+// Tracer returns the tracer the driver's session records to (nil when
+// tracing is off). The MPI-IO layer uses it to open per-operation spans.
+func (d *DAFSDriver) Tracer() *trace.Tracer { return d.client.Tracer() }
 
 // Name implements Driver.
 func (d *DAFSDriver) Name() string { return "dafs" }

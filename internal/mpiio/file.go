@@ -5,6 +5,7 @@ import (
 
 	"dafsio/internal/mpi"
 	"dafsio/internal/sim"
+	"dafsio/internal/trace"
 )
 
 // Hints tunes the MPI-IO layer (the MPI_Info keys ROMIO understands, at the
@@ -57,6 +58,9 @@ type File struct {
 	shared *sharedState // shared file pointer (see shared.go)
 	atomic *atomicState // atomic mode (see atomic.go)
 	closed bool
+
+	tr    *trace.Tracer // from the driver, when it has one (nil: untraced)
+	track string        // trace track: the host node's name
 }
 
 // Open opens name through drv. rank may be nil for serial use; when set,
@@ -67,6 +71,12 @@ func Open(p *sim.Proc, rank *mpi.Rank, drv Driver, name string, mode int, hints 
 		return nil, err
 	}
 	f := &File{drv: drv, rank: rank, name: name, mode: mode, hints: hints.withDefaults()}
+	if td, ok := drv.(interface{ Tracer() *trace.Tracer }); ok && td.Tracer().Enabled() {
+		f.tr = td.Tracer()
+		if n := drv.Node(); n != nil {
+			f.track = n.Name
+		}
+	}
 	if rank == nil || rank.Size() == 1 {
 		h, err := drv.Open(p, name, mode)
 		if err != nil {
@@ -179,6 +189,18 @@ func (f *File) transferAt(p *sim.Proc, off int64, buf []byte, write bool) (int, 
 	}
 	if len(buf) == 0 {
 		return 0, nil
+	}
+	if f.tr != nil {
+		name := "read"
+		if write {
+			name = "write"
+		}
+		id := f.tr.Begin(f.track, trace.LayerMPIIO, name, trace.OpID(p.TraceCtx()))
+		old := p.SetTraceCtx(uint64(id))
+		defer func() {
+			p.SetTraceCtx(old)
+			f.tr.End(id)
+		}()
 	}
 	f.lock(p)
 	defer f.unlock(p)

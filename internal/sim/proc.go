@@ -17,6 +17,24 @@ type Proc struct {
 	resume chan struct{}
 	done   bool
 	daemon bool
+
+	// traceCtx is an opaque correlation id carried by the process for
+	// observability layers (see internal/trace). The kernel never reads
+	// it; it exists so a layer can parent the operations a lower layer
+	// performs on its behalf without the sim package depending on the
+	// tracer.
+	traceCtx uint64
+}
+
+// TraceCtx returns the process's current trace correlation id (0 = none).
+func (p *Proc) TraceCtx() uint64 { return p.traceCtx }
+
+// SetTraceCtx installs a trace correlation id and returns the previous one,
+// so callers can restore it when their operation completes.
+func (p *Proc) SetTraceCtx(id uint64) (old uint64) {
+	old = p.traceCtx
+	p.traceCtx = id
+	return old
 }
 
 // procPanic carries a panic out of a process into the kernel's error return.

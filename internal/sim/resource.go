@@ -2,8 +2,9 @@ package sim
 
 // Resource is a counted resource with strict FIFO admission, used to model
 // CPUs, DMA engines, disk arms, and link arbitration. It also integrates
-// occupancy over time so experiments can report utilization (e.g. client
-// CPU busy fraction, the paper's key DAFS-vs-NFS metric).
+// occupancy and queue depth over time so experiments can report utilization
+// (e.g. client CPU busy fraction, the paper's key DAFS-vs-NFS metric) and
+// queueing delay.
 type Resource struct {
 	Name string
 
@@ -13,14 +14,20 @@ type Resource struct {
 	waiters []*resWaiter
 
 	busyInt    float64 // integral of inUse over time, unit-ns
+	qInt       float64 // integral of queue depth over time, waiter-ns
 	lastChange Time
 	createdAt  Time
+
+	acquires int64 // Acquire calls
+	waits    int64 // acquisitions that had to queue
+	waited   Time  // cumulative queue time of granted acquisitions
 }
 
 type resWaiter struct {
 	p       *Proc
 	n       int
 	granted bool
+	since   Time
 }
 
 // NewResource creates a resource with the given capacity (>= 1).
@@ -39,7 +46,9 @@ func (r *Resource) InUse() int { return r.inUse }
 
 func (r *Resource) account() {
 	now := r.k.now
-	r.busyInt += float64(r.inUse) * float64(now-r.lastChange)
+	dt := float64(now - r.lastChange)
+	r.busyInt += float64(r.inUse) * dt
+	r.qInt += float64(len(r.waiters)) * dt
 	r.lastChange = now
 }
 
@@ -50,12 +59,14 @@ func (r *Resource) Acquire(p *Proc, n int) {
 	if n < 1 || n > r.cap {
 		panic("sim: bad acquire count")
 	}
+	r.acquires++
 	if len(r.waiters) == 0 && r.inUse+n <= r.cap {
 		r.account()
 		r.inUse += n
 		return
 	}
-	w := &resWaiter{p: p, n: n}
+	r.account()
+	w := &resWaiter{p: p, n: n, since: r.k.now}
 	r.waiters = append(r.waiters, w)
 	for !w.granted {
 		p.park()
@@ -74,6 +85,11 @@ func (r *Resource) Release(n int) {
 		r.waiters = r.waiters[1:]
 		w.granted = true
 		r.inUse += w.n
+		r.waits++
+		// Clamp to createdAt so a ResetStats issued while processes were
+		// queued charges only the post-reset share of their wait.
+		since := max(w.since, r.createdAt)
+		r.waited += r.k.now - since
 		r.k.wake(w.p)
 	}
 }
@@ -104,10 +120,45 @@ func (r *Resource) Utilization() float64 {
 	return float64(r.BusyTime()) / float64(elapsed)
 }
 
-// ResetStats restarts utilization accounting at the current instant without
-// touching current holders (used to exclude warmup from measurements).
+// Acquires returns the number of Acquire calls since creation or the last
+// ResetStats.
+func (r *Resource) Acquires() int64 { return r.acquires }
+
+// Waits returns how many acquisitions had to queue before being granted.
+func (r *Resource) Waits() int64 { return r.waits }
+
+// QueueWait returns the cumulative virtual time acquirers have spent queued,
+// including the elapsed share of processes still waiting now (mirroring how
+// BusyTime counts current holders).
+func (r *Resource) QueueWait() Time {
+	total := r.waited
+	for _, w := range r.waiters {
+		total += r.k.now - max(w.since, r.createdAt)
+	}
+	return total
+}
+
+// AvgQueueDepth returns the time-averaged number of queued waiters since
+// creation or the last ResetStats.
+func (r *Resource) AvgQueueDepth() float64 {
+	elapsed := r.k.now - r.createdAt
+	if elapsed <= 0 {
+		return 0
+	}
+	integral := r.qInt + float64(len(r.waiters))*float64(r.k.now-r.lastChange)
+	return integral / float64(elapsed)
+}
+
+// ResetStats restarts utilization AND queueing accounting at the current
+// instant without touching current holders or waiters (used to exclude
+// warmup from measurements). Processes already queued at the reset charge
+// only their post-reset wait.
 func (r *Resource) ResetStats() {
 	r.busyInt = 0
+	r.qInt = 0
+	r.acquires = 0
+	r.waits = 0
+	r.waited = 0
 	r.lastChange = r.k.now
 	r.createdAt = r.k.now
 }

@@ -1,0 +1,94 @@
+package sim
+
+import "testing"
+
+// TestResourceQueueAccounting pins the queue-wait counters against a
+// hand-computed contention scenario: a capacity-1 resource, one holder and
+// two queued processes arriving at known instants.
+func TestResourceQueueAccounting(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "r", 1)
+	// holder: acquires at t=0, holds 100ns.
+	k.Spawn("holder", func(p *Proc) {
+		r.Use(p, 1, 100)
+	})
+	// w1: arrives at t=10, waits 90ns, holds 100ns (releases at 300).
+	k.Spawn("w1", func(p *Proc) {
+		p.Wait(10)
+		r.Use(p, 1, 100)
+	})
+	// w2: arrives at t=20, waits 180ns, holds 50ns.
+	k.Spawn("w2", func(p *Proc) {
+		p.Wait(20)
+		r.Use(p, 1, 50)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Acquires(); got != 3 {
+		t.Errorf("Acquires = %d, want 3", got)
+	}
+	if got := r.Waits(); got != 2 {
+		t.Errorf("Waits = %d, want 2", got)
+	}
+	if got := r.QueueWait(); got != 90+180 {
+		t.Errorf("QueueWait = %v, want 270ns", got)
+	}
+	// Queue-depth integral: depth 1 over [10,20) and [100,200), depth 2
+	// over [20,100) = 10 + 100 + 160 = 270 waiter-ns over 250ns elapsed.
+	if got, want := r.AvgQueueDepth(), 270.0/250.0; got != want {
+		t.Errorf("AvgQueueDepth = %v, want %v", got, want)
+	}
+	// Busy the whole run: 250ns held over 250ns elapsed.
+	if got := r.BusyTime(); got != 250 {
+		t.Errorf("BusyTime = %v, want 250ns", got)
+	}
+}
+
+// TestResourceResetStatsQueue is the regression test for ResetStats: it
+// must restart busy AND queue accounting together, so utilization and
+// queue-wait derived from the same window can never disagree about when the
+// window began.
+func TestResourceResetStatsQueue(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "r", 1)
+	k.Spawn("holder", func(p *Proc) {
+		r.Use(p, 1, 200)
+	})
+	k.Spawn("waiter", func(p *Proc) {
+		p.Wait(50)
+		r.Acquire(p, 1) // queued at 50, granted at 200
+		p.Wait(30)
+		r.Release(1)
+	})
+	// Reset mid-run, while the waiter is queued and the holder holds.
+	k.At(150, func() { r.ResetStats() })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-reset window is [150,230): the waiter's wait is clamped to the
+	// reset instant (200-150 = 50ns, not the raw 150ns).
+	if got := r.QueueWait(); got != 50 {
+		t.Errorf("QueueWait after reset = %v, want 50ns", got)
+	}
+	// Counters restart from zero at the reset: only the in-flight grant.
+	if got := r.Waits(); got != 1 {
+		t.Errorf("Waits after reset = %d, want 1", got)
+	}
+	if got := r.Acquires(); got != 0 {
+		t.Errorf("Acquires after reset = %d, want 0 (both issued pre-reset)", got)
+	}
+	// Busy over [150,230): held [150,200) by holder and [200,230) by
+	// waiter = 80ns of 80ns elapsed.
+	if got := r.BusyTime(); got != 80 {
+		t.Errorf("BusyTime after reset = %v, want 80ns", got)
+	}
+	if got := r.Utilization(); got != 1.0 {
+		t.Errorf("Utilization after reset = %v, want 1.0", got)
+	}
+	// Queue depth integral post-reset: one waiter over [150,200) of the
+	// 80ns window.
+	if got, want := r.AvgQueueDepth(), 50.0/80.0; got != want {
+		t.Errorf("AvgQueueDepth after reset = %v, want %v", got, want)
+	}
+}

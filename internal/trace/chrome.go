@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WriteChrome exports the closed spans as Chrome trace-event JSON (the
+// format chrome://tracing and Perfetto load). Every track becomes one
+// thread of a single process, with thread_name metadata and a sort index
+// following first appearance, so client and server timelines stack in
+// topology order. Timestamps are microseconds with nanosecond precision
+// (the native sim resolution). Output is byte-deterministic: spans are
+// emitted in creation order and track ids assigned by sorted name.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[")
+	tids := t.chromeTids()
+	names := make([]string, 0, len(tids))
+	for name := range tids {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	first := true
+	comma := func() {
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+	}
+	for _, name := range names {
+		comma()
+		fmt.Fprintf(bw, "\n{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":%s}}",
+			tids[name], strconv.Quote(name))
+		comma()
+		fmt.Fprintf(bw, "\n{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":\"thread_sort_index\",\"args\":{\"sort_index\":%d}}",
+			tids[name], tids[name])
+	}
+	for i := range t.Spans() {
+		s := &t.spans[i]
+		if s.End < s.Start {
+			continue // still open: not exportable as a complete event
+		}
+		comma()
+		fmt.Fprintf(bw, "\n{\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%s,\"dur\":%s,\"name\":%s,\"cat\":%s,\"args\":{\"id\":%d,\"parent\":%d",
+			tids[s.Track], us(int64(s.Start)), us(int64(s.Dur())),
+			strconv.Quote(s.Op), strconv.Quote(s.Layer.String()), s.ID, s.Parent)
+		if s.XID != 0 {
+			fmt.Fprintf(bw, ",\"xid\":%d", s.XID)
+		}
+		if s.Server >= 0 {
+			fmt.Fprintf(bw, ",\"server\":%d", s.Server)
+		}
+		bw.WriteString("}}")
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+// chromeTids assigns each track a stable thread id by sorted track name.
+func (t *Tracer) chromeTids() map[string]int {
+	tids := make(map[string]int)
+	for i := range t.spans {
+		tids[t.spans[i].Track] = 0
+	}
+	names := make([]string, 0, len(tids))
+	for name := range tids {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for i, name := range names {
+		tids[name] = i + 1
+	}
+	return tids
+}
+
+// us formats nanoseconds as decimal microseconds without float rounding.
+func us(ns int64) string {
+	sign := ""
+	if ns < 0 {
+		sign, ns = "-", -ns
+	}
+	if ns%1000 == 0 {
+		return sign + strconv.FormatInt(ns/1000, 10)
+	}
+	return fmt.Sprintf("%s%d.%03d", sign, ns/1000, ns%1000)
+}

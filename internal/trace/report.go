@@ -1,0 +1,178 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"dafsio/internal/sim"
+	"dafsio/internal/stats"
+)
+
+// HistTable renders per-(layer, op) latency histograms of all closed spans
+// as a stats table with count, mean and log2-bucket quantiles. Rows are
+// ordered layer-major (top of the stack first), then by op name.
+func (t *Tracer) HistTable() *stats.Table {
+	tbl := &stats.Table{
+		ID:      "TRC-H",
+		Title:   "Span latency by (layer, op): log2-bucket histograms",
+		Note:    "p50/p95/p99 are bucket upper edges clamped to the observed max; us",
+		Columns: []string{"layer", "op", "count", "mean", "p50", "p95", "p99", "max"},
+	}
+	if t == nil {
+		return tbl
+	}
+	type key struct {
+		layer Layer
+		op    string
+	}
+	hists := make(map[key]*stats.Histogram)
+	var keys []key
+	for i := range t.spans {
+		s := &t.spans[i]
+		if s.End < s.Start {
+			continue
+		}
+		k := key{s.Layer, s.Op}
+		h := hists[k]
+		if h == nil {
+			h = &stats.Histogram{}
+			hists[k] = h
+			keys = append(keys, k)
+		}
+		h.Add(int64(s.Dur()))
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].layer != keys[j].layer {
+			return keys[i].layer < keys[j].layer
+		}
+		return keys[i].op < keys[j].op
+	})
+	for _, k := range keys {
+		h := hists[k]
+		tbl.AddRow(k.layer.String(), k.op,
+			fmt.Sprintf("%d", h.N),
+			stats.Us(sim.Time(h.Mean())),
+			stats.Us(sim.Time(h.Quantile(0.50))),
+			stats.Us(sim.Time(h.Quantile(0.95))),
+			stats.Us(sim.Time(h.Quantile(0.99))),
+			stats.Us(sim.Time(h.Max)))
+	}
+	return tbl
+}
+
+// Breakdown is the per-category attribution of root operations' time.
+type Breakdown struct {
+	Total    [NumCategories]sim.Time // summed over every root's subtree
+	Other    sim.Time                // root time no category claims
+	Roots    int                     // closed root spans
+	RootTime sim.Time                // summed root span durations
+}
+
+// ComputeBreakdown attributes each closed root span's time to categories by
+// rolling up the charges recorded across its whole subtree — including
+// spans on other nodes, which joined the tree through the request's
+// descriptor id. Charges overlap where the hardware pipelines (DMA against
+// wire within a message), so the categories bound rather than partition the
+// root time; the unclaimed remainder, max(0, rootDur - sum), is reported as
+// Other.
+func (t *Tracer) ComputeBreakdown() Breakdown {
+	var b Breakdown
+	if t == nil {
+		return b
+	}
+	children := make(map[OpID][]OpID)
+	for i := range t.spans {
+		s := &t.spans[i]
+		if s.Parent != 0 {
+			children[s.Parent] = append(children[s.Parent], s.ID)
+		}
+	}
+	for i := range t.spans {
+		s := &t.spans[i]
+		if s.Parent != 0 || s.End < s.Start {
+			continue
+		}
+		var sub [NumCategories]sim.Time
+		t.rollup(s.ID, children, &sub)
+		var claimed sim.Time
+		for c := Category(0); c < NumCategories; c++ {
+			b.Total[c] += sub[c]
+			claimed += sub[c]
+		}
+		if rest := s.Dur() - claimed; rest > 0 {
+			b.Other += rest
+		}
+		b.Roots++
+		b.RootTime += s.Dur()
+	}
+	return b
+}
+
+// rollup sums the charge vectors of a span and all its descendants.
+func (t *Tracer) rollup(id OpID, children map[OpID][]OpID, into *[NumCategories]sim.Time) {
+	if c := t.charges[id]; c != nil {
+		for i := range c {
+			into[i] += c[i]
+		}
+	}
+	for _, ch := range children[id] {
+		t.rollup(ch, children, into)
+	}
+}
+
+// BreakdownTable renders the breakdown against the experiment's simulated
+// elapsed time. Pass elapsed <= 0 to use the extent of the recorded spans.
+func (t *Tracer) BreakdownTable(elapsed sim.Time) *stats.Table {
+	b := t.ComputeBreakdown()
+	if elapsed <= 0 {
+		elapsed = t.extent()
+	}
+	tbl := &stats.Table{
+		ID:    "TRC-B",
+		Title: "Per-layer time breakdown (subtree charge rollup over root ops)",
+		Note: "categories overlap where the NIC pipelines; 'other' is root time no charge claims.\n" +
+			"'% of op time' is against summed root-op time; 'per-op' divides by root-op count",
+		Columns: []string{"component", "total ms", "per-op us", "% of op time"},
+	}
+	perOp := func(d sim.Time) string {
+		if b.Roots == 0 {
+			return stats.Us(0)
+		}
+		return stats.Us(d / sim.Time(b.Roots))
+	}
+	pct := func(d sim.Time) string {
+		if b.RootTime <= 0 {
+			return stats.Pct(0)
+		}
+		return stats.Pct(float64(d) / float64(b.RootTime))
+	}
+	ms := func(d sim.Time) string { return fmt.Sprintf("%.3f", float64(d)/1e6) }
+	for c := Category(0); c < NumCategories; c++ {
+		tbl.AddRow(c.String(), ms(b.Total[c]), perOp(b.Total[c]), pct(b.Total[c]))
+	}
+	tbl.AddRow("other", ms(b.Other), perOp(b.Other), pct(b.Other))
+	tbl.AddRow("root op time", ms(b.RootTime), perOp(b.RootTime), pct(b.RootTime))
+	tbl.AddRow(fmt.Sprintf("elapsed (%d root ops)", b.Roots), ms(elapsed), "", "")
+	return tbl
+}
+
+// extent returns the time from the first span start to the last span end.
+func (t *Tracer) extent() sim.Time {
+	if t == nil || len(t.spans) == 0 {
+		return 0
+	}
+	first, last := t.spans[0].Start, sim.Time(0)
+	for i := range t.spans {
+		s := &t.spans[i]
+		if s.Start < first {
+			first = s.Start
+		}
+		if s.End > last {
+			last = s.End
+		}
+	}
+	if last < first {
+		return 0
+	}
+	return last - first
+}

@@ -3,6 +3,7 @@ package via
 import (
 	"dafsio/internal/fabric"
 	"dafsio/internal/sim"
+	"dafsio/internal/trace"
 )
 
 // cellKind discriminates the frame types a VIA NIC puts on the wire.
@@ -15,6 +16,24 @@ const (
 	ckReadResp                  // RDMA read response data
 	ckAck                       // delivery acknowledgement (reliable mode)
 )
+
+// String names the cell kind (wire span labels).
+func (k cellKind) String() string {
+	switch k {
+	case ckSend:
+		return "send"
+	case ckRDMAWrite:
+		return "rdma-write"
+	case ckReadReq:
+		return "read-req"
+	case ckReadResp:
+		return "read-resp"
+	case ckAck:
+		return "ack"
+	default:
+		return "cell?"
+	}
+}
 
 // cell is the NIC's wire unit. Large messages are segmented into cells of
 // at most Profile.CellSize (including CellHeader) so DMA and link stages
@@ -39,6 +58,13 @@ type cell struct {
 	token   uint64
 
 	errCode uint8
+
+	// Trace correlation (zero when tracing is off). These ride in the
+	// simulated payload struct, not the modeled wire format: timing
+	// depends only on Frame.Bytes, so they are free and invisible to the
+	// cost model.
+	span trace.OpID // originating descriptor's span
+	wire trace.OpID // this message's wire span (ended by the receiver)
 }
 
 // Wire error codes carried in acks and read responses.
@@ -89,7 +115,9 @@ func (n *NIC) sendLoop(p *sim.Proc) {
 		if !ok {
 			return
 		}
+		tr := n.prov.Tracer
 		p.Wait(prof.DescProcess)
+		tr.Charge(d.span, trace.CatNIC, prof.DescProcess)
 		switch d.Op {
 		case OpSend:
 			n.streamOut(p, d, ckSend, d.vi.peerNode, d.vi.peerVI, true)
@@ -104,6 +132,8 @@ func (n *NIC) sendLoop(p *sim.Proc) {
 			n.txQ.Send(p, cell{
 				kind: ckReadReq, dst: d.vi.peerNode, dstVI: d.vi.peerVI,
 				token: d.token, rhandle: d.RemoteHandle, raddr: d.RemoteOffset, rlen: d.Len,
+				span: d.span,
+				wire: tr.Begin(n.Node.Name, trace.LayerWire, "read-req", d.span),
 			})
 		default:
 			panic("via: bad op on send queue")
@@ -127,20 +157,33 @@ func (n *NIC) streamOut(p *sim.Proc, d *Descriptor, kind cellKind, dst fabric.No
 	if tracked {
 		n.pendSends[msgID] = d
 	}
+	tr := n.prov.Tracer
+	// One wire span per message: first-cell handoff to the transmit stage
+	// until the receiver takes the last cell off its link.
+	wire := tr.Begin(n.Node.Name, trace.LayerWire, kind.String(), d.span)
 	cellData := prof.CellSize - prof.CellHeader
 	total := d.Len
 	off := 0
 	for {
 		nb := min(cellData, total-off)
+		t0 := p.Now()
 		n.txDMA.Acquire(p, 1)
-		p.Wait(prof.DMASetup + sim.TransferTime(int64(nb), prof.DMABandwidth))
+		dmaService := prof.DMASetup + sim.TransferTime(int64(nb), prof.DMABandwidth)
+		p.Wait(dmaService)
 		n.txDMA.Release(1)
+		if tr != nil {
+			// The DMA engine's service time is NIC work; any excess of
+			// the measured elapsed is arbitration against other messages.
+			tr.Charge(d.span, trace.CatNIC, dmaService)
+			tr.Charge(d.span, trace.CatQueue, p.Now()-t0-dmaService)
+		}
 		data := make([]byte, nb)
 		copy(data, d.Region.buf[d.Offset+off:d.Offset+off+nb])
 		last := off+nb >= total
 		c := cell{
 			kind: kind, dst: dst, dstVI: dstVI,
 			msgID: msgID, off: off, n: nb, total: total, last: last, data: data,
+			span: d.span, wire: wire,
 		}
 		switch kind {
 		case ckRDMAWrite:
@@ -161,12 +204,23 @@ func (n *NIC) streamOut(p *sim.Proc, d *Descriptor, kind cellKind, dst fabric.No
 // txLoop serializes cells onto the node's transmit link.
 func (n *NIC) txLoop(p *sim.Proc) {
 	prof := n.prov.Prof
+	tr := n.prov.Tracer
 	for {
 		c, ok := n.txQ.Recv(p)
 		if !ok {
 			return
 		}
+		if tr == nil {
+			n.Node.Send(p, fabric.Frame{Dst: c.dst, Bytes: c.n + prof.CellHeader, Payload: c})
+			continue
+		}
+		ser := sim.TransferTime(int64(c.n+prof.CellHeader), prof.LinkBandwidth)
+		t0 := p.Now()
 		n.Node.Send(p, fabric.Frame{Dst: c.dst, Bytes: c.n + prof.CellHeader, Payload: c})
+		// Serialization is wire time; the excess is waiting for the
+		// shared transmit link (other VIs, the kernel stack).
+		tr.Charge(c.span, trace.CatWire, ser)
+		tr.Charge(c.span, trace.CatQueue, p.Now()-t0-ser)
 	}
 }
 
@@ -179,6 +233,21 @@ func (n *NIC) recvLoop(p *sim.Proc) {
 		}
 		c := fr.Payload.(cell)
 		c.src = fr.Src
+		if tr := n.prov.Tracer; tr != nil {
+			if c.off == 0 {
+				// Propagation delay, once per message at its head.
+				tr.Charge(c.span, trace.CatWire, n.prov.Prof.WireLatency)
+			}
+			// Receive-side link serialization (paid in iface.Recv just
+			// above; it pipelines against the sender's next cell).
+			tr.Charge(c.span, trace.CatWire,
+				sim.TransferTime(int64(c.n+n.prov.Prof.CellHeader), n.prov.Prof.LinkBandwidth))
+			if c.last || c.kind == ckReadReq || c.kind == ckAck {
+				// Control cells are single-cell messages that never set
+				// last; either way the message is now off the wire.
+				tr.End(c.wire)
+			}
+		}
 		switch c.kind {
 		case ckSend:
 			n.handleSend(p, c)
@@ -194,12 +263,19 @@ func (n *NIC) recvLoop(p *sim.Proc) {
 	}
 }
 
-// dmaIn charges the NIC-to-host DMA stage for nb payload bytes.
-func (n *NIC) dmaIn(p *sim.Proc, nb int) {
+// dmaIn charges the NIC-to-host DMA stage for nb payload bytes, attributing
+// the service time (and any engine arbitration) to span.
+func (n *NIC) dmaIn(p *sim.Proc, nb int, span trace.OpID) {
 	prof := n.prov.Prof
+	t0 := p.Now()
 	n.rxDMA.Acquire(p, 1)
-	p.Wait(prof.DMASetup + sim.TransferTime(int64(nb), prof.DMABandwidth))
+	service := prof.DMASetup + sim.TransferTime(int64(nb), prof.DMABandwidth)
+	p.Wait(service)
 	n.rxDMA.Release(1)
+	if tr := n.prov.Tracer; tr != nil {
+		tr.Charge(span, trace.CatNIC, service)
+		tr.Charge(span, trace.CatQueue, p.Now()-t0-service)
+	}
 }
 
 func (n *NIC) handleSend(p *sim.Proc, c cell) {
@@ -230,7 +306,7 @@ func (n *NIC) handleSend(p *sim.Proc, c cell) {
 		}
 	}
 	if st.desc != nil && st.err == nil && c.n > 0 {
-		n.dmaIn(p, c.n)
+		n.dmaIn(p, c.n, c.span)
 		copy(st.desc.buf()[c.off:], c.data)
 		n.stats.CellsIn++
 		n.stats.BytesIn += int64(c.n)
@@ -240,11 +316,16 @@ func (n *NIC) handleSend(p *sim.Proc, c cell) {
 		return
 	}
 	delete(n.reasm, key)
+	tr := n.prov.Tracer
 	if st.desc != nil {
 		p.Wait(n.prov.Prof.CompletionCost)
-		st.vi.RecvCQ.deliver(p, Completion{VI: st.vi, Desc: st.desc, Op: OpRecv, Len: c.total, Err: st.err})
+		tr.Charge(c.span, trace.CatNIC, n.prov.Prof.CompletionCost)
+		st.vi.RecvCQ.deliver(p, Completion{VI: st.vi, Desc: st.desc, Op: OpRecv, Len: c.total, Err: st.err, Trace: c.span})
 	}
-	n.txQ.Send(p, cell{kind: ckAck, dst: c.src, msgID: c.msgID, errCode: codeOf(st.err)})
+	n.txQ.Send(p, cell{
+		kind: ckAck, dst: c.src, msgID: c.msgID, errCode: codeOf(st.err),
+		span: c.span, wire: tr.Begin(n.Node.Name, trace.LayerWire, "ack", c.span),
+	})
 }
 
 func (n *NIC) handleRDMAWrite(p *sim.Proc, c cell) {
@@ -260,7 +341,7 @@ func (n *NIC) handleRDMAWrite(p *sim.Proc, c cell) {
 		}
 	}
 	if st.region != nil && st.err == nil && c.n > 0 {
-		n.dmaIn(p, c.n)
+		n.dmaIn(p, c.n, c.span)
 		copy(st.region.buf[c.raddr+c.off:], c.data)
 		n.stats.CellsIn++
 		n.stats.BytesIn += int64(c.n)
@@ -269,7 +350,10 @@ func (n *NIC) handleRDMAWrite(p *sim.Proc, c cell) {
 		return
 	}
 	delete(n.reasm, key)
-	n.txQ.Send(p, cell{kind: ckAck, dst: c.src, msgID: c.msgID, errCode: codeOf(st.err)})
+	n.txQ.Send(p, cell{
+		kind: ckAck, dst: c.src, msgID: c.msgID, errCode: codeOf(st.err),
+		span: c.span, wire: n.prov.Tracer.Begin(n.Node.Name, trace.LayerWire, "ack", c.span),
+	})
 }
 
 func (n *NIC) handleAck(p *sim.Proc, c cell) {
@@ -279,6 +363,7 @@ func (n *NIC) handleAck(p *sim.Proc, c cell) {
 	}
 	delete(n.pendSends, c.msgID)
 	p.Wait(n.prov.Prof.CompletionCost)
+	n.prov.Tracer.Charge(d.span, trace.CatNIC, n.prov.Prof.CompletionCost)
 	d.vi.SendCQ.deliver(p, Completion{VI: d.vi, Desc: d, Op: d.Op, Len: d.Len, Err: errOf(c.errCode)})
 }
 
@@ -288,15 +373,18 @@ func (n *NIC) handleReadReq(p *sim.Proc, c cell) {
 		n.txQ.Send(p, cell{
 			kind: ckReadResp, dst: c.src, token: c.token,
 			total: 0, last: true, errCode: ecProtection,
+			span: c.span, wire: n.prov.Tracer.Begin(n.Node.Name, trace.LayerWire, "read-resp", c.span),
 		})
 		return
 	}
 	// The NIC serves the read autonomously: queue an internal descriptor
 	// that streams the requested range back. No host CPU is involved on
-	// this side — the essence of one-sided RDMA.
+	// this side — the essence of one-sided RDMA. The internal descriptor
+	// inherits the requester's span, so the response's DMA and wire time
+	// land on the rdma-read descriptor that asked for it.
 	n.sendWork.TrySend(&Descriptor{
 		Op: opReadResp, Region: r, Offset: c.raddr, Len: c.rlen,
-		token: c.token, respDst: c.src,
+		token: c.token, respDst: c.src, span: c.span,
 	})
 }
 
@@ -312,7 +400,7 @@ func (n *NIC) handleReadResp(p *sim.Proc, c cell) {
 		return
 	}
 	if c.n > 0 {
-		n.dmaIn(p, c.n)
+		n.dmaIn(p, c.n, c.span)
 		copy(d.buf()[c.off:], c.data)
 		n.stats.CellsIn++
 		n.stats.BytesIn += int64(c.n)
@@ -322,5 +410,6 @@ func (n *NIC) handleReadResp(p *sim.Proc, c cell) {
 	}
 	delete(n.pendReads, c.token)
 	p.Wait(n.prov.Prof.CompletionCost)
+	n.prov.Tracer.Charge(d.span, trace.CatNIC, n.prov.Prof.CompletionCost)
 	d.vi.SendCQ.deliver(p, Completion{VI: d.vi, Desc: d, Op: OpRDMARead, Len: d.Len, Err: nil})
 }

@@ -5,6 +5,7 @@ import (
 
 	"dafsio/internal/fabric"
 	"dafsio/internal/sim"
+	"dafsio/internal/trace"
 )
 
 // Descriptor describes one data-transfer operation on a VI work queue.
@@ -28,6 +29,7 @@ type Descriptor struct {
 	vi      *VI
 	token   uint64
 	respDst fabric.NodeID // internal: destination of an RDMA read response
+	span    trace.OpID    // descriptor span: post -> completion (0: untraced)
 }
 
 func (d *Descriptor) buf() []byte { return d.Region.buf[d.Offset : d.Offset+d.Len] }
@@ -40,6 +42,11 @@ type Completion struct {
 	Len  int // bytes transferred (receives: actual message length)
 	Err  error
 	At   sim.Time
+
+	// Trace is the sender's descriptor span id for received messages (0
+	// when tracing is off): the hook that lets a server parent its
+	// execution span to the client operation that sent the request.
+	Trace trace.OpID
 }
 
 // CQ is a completion queue. Waiting on an empty CQ models a blocking wait:
@@ -79,6 +86,10 @@ func (cq *CQ) Len() int { return cq.ch.Len() }
 
 func (cq *CQ) deliver(p *sim.Proc, c Completion) {
 	c.At = cq.nic.prov.K.Now()
+	if c.Desc != nil {
+		// Descriptor spans end when their completion is delivered.
+		cq.nic.prov.Tracer.End(c.Desc.span)
+	}
 	cq.ch.Send(p, c)
 }
 
@@ -183,7 +194,14 @@ func (vi *VI) PostSend(p *sim.Proc, d *Descriptor) error {
 		return fmt.Errorf("%w: PostSend with op %v", ErrBadOp, d.Op)
 	}
 	d.vi = vi
-	vi.NIC.Node.Compute(p, vi.NIC.prov.Prof.DoorbellCost)
+	if tr := vi.NIC.prov.Tracer; tr != nil {
+		d.span = tr.Begin(vi.NIC.Node.Name, trace.LayerVIA, d.Op.String(), trace.OpID(p.TraceCtx()))
+		t0 := p.Now()
+		vi.NIC.Node.Compute(p, vi.NIC.prov.Prof.DoorbellCost)
+		tr.Charge(d.span, trace.CatDoorbell, p.Now()-t0)
+	} else {
+		vi.NIC.Node.Compute(p, vi.NIC.prov.Prof.DoorbellCost)
+	}
 	vi.NIC.sendWork.Send(p, d)
 	return nil
 }

@@ -22,6 +22,7 @@ import (
 	"dafsio/internal/fabric"
 	"dafsio/internal/model"
 	"dafsio/internal/sim"
+	"dafsio/internal/trace"
 )
 
 // Op identifies the operation a descriptor describes.
@@ -71,6 +72,12 @@ type Provider struct {
 	Fab  *fabric.Fabric
 	K    *sim.Kernel
 	Prof *model.Profile
+
+	// Tracer, when set before traffic starts, records a span for every
+	// posted descriptor and wire message. Tracing is purely observational
+	// (sim.Time readings around existing costs); simulated timing is
+	// identical with it on or off.
+	Tracer *trace.Tracer
 
 	nics map[fabric.NodeID]*NIC
 }
