@@ -1,11 +1,11 @@
 # Developer entry points; CI (.github/workflows/ci.yml) runs the same
-# four gates.
+# gates.
 
 GO ?= go
 
-.PHONY: build test race lint fmt all
+.PHONY: build test race lint fmt faults all
 
-all: build test race lint
+all: build test race lint faults
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,16 @@ race:
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/mpiolint ./...
+
+# faults runs the fault-injection and failover suite under the race
+# detector: the fault package itself, session recovery (timeout, redial,
+# backoff), replica placement, driver failover, and the faulted T16
+# determinism replay.
+faults:
+	$(GO) test -race ./internal/fault/ ./internal/layout/
+	$(GO) test -race -run 'TestClose|TestCallTimeout|TestRedial|TestRetryPolicy|TestSession' ./internal/dafs/
+	$(GO) test -race -run 'TestReplicated|TestFailover|TestReadAny|TestUnreplicated' ./internal/mpiio/
+	$(GO) test -race -run 'TestT16' ./internal/bench/
 
 fmt:
 	gofmt -s -w .

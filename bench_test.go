@@ -42,3 +42,4 @@ func BenchmarkT12FasterNetworks(b *testing.B) { runExperiment(b, "T12") }
 func BenchmarkT13GbEProfile(b *testing.B)     { runExperiment(b, "T13") }
 func BenchmarkT14DiskBound(b *testing.B)      { runExperiment(b, "T14") }
 func BenchmarkT15StripedScaling(b *testing.B) { runExperiment(b, "T15") }
+func BenchmarkT16Failover(b *testing.B)       { runExperiment(b, "T16") }

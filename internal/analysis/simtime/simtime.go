@@ -50,6 +50,7 @@ var simulatedTree = []string{
 	"dafsio/internal/wire",
 	"dafsio/internal/stats",
 	"dafsio/internal/trace",
+	"dafsio/internal/fault",
 }
 
 // Analyzer is the simtime pass.

@@ -43,6 +43,7 @@ var All = []Experiment{
 	{"T13", "Commodity gigabit-Ethernet profile", T13GbEProfile},
 	{"T14", "Disk-bound server: transports converge (negative result)", T14DiskBound},
 	{"T15", "Striped aggregate bandwidth: clients x servers", T15StripedScaling},
+	{"T16", "Failover under a server crash: replication 1 vs 2", T16Failover},
 }
 
 // ByID finds an experiment.

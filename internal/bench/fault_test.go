@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"dafsio/internal/dafs"
+)
+
+// TestT16FaultedDeterminism extends the byte-identical-trace guarantee to
+// a faulted run: replaying T16's kill schedule (r=2, server1 crashing at
+// 10ms) must reproduce the simulated timeline, byte counts, recovery
+// metrics, and Chrome trace export exactly.
+func TestT16FaultedDeterminism(t *testing.T) {
+	r1 := t16Run(2, true, true)
+	r2 := t16Run(2, true, true)
+	for _, r := range []*t16Result{&r1, &r2} {
+		if r.Err != nil || !r.Verified {
+			t.Fatalf("faulted run did not complete verified: err=%v verified=%v", r.Err, r.Verified)
+		}
+	}
+	if r1.MBps != r2.MBps || r1.Start != r2.Start || r1.End != r2.End {
+		t.Errorf("windows differ: %.3f [%v,%v] vs %.3f [%v,%v]",
+			r1.MBps, r1.Start, r1.End, r2.MBps, r2.Start, r2.End)
+	}
+	if r1.Recovery != r2.Recovery || r1.Retries != r2.Retries {
+		t.Errorf("recovery metrics differ: %v/%d vs %v/%d", r1.Recovery, r1.Retries, r2.Recovery, r2.Retries)
+	}
+	var b1, b2 bytes.Buffer
+	if err := r1.Tracer.WriteChrome(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.Tracer.WriteChrome(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Error("two faulted T16 runs produced different Chrome traces")
+	}
+}
+
+// TestT16TracedMatchesUntraced: fault injection composes with tracing the
+// same way everything else does — observationally.
+func TestT16TracedMatchesUntraced(t *testing.T) {
+	if traced, plain := TracedT16().MBps, t16Run(2, true, false).MBps; traced != plain {
+		t.Errorf("T16 bandwidth: traced %v != untraced %v", traced, plain)
+	}
+}
+
+// TestT16Outcomes pins the experiment's two headline claims: unreplicated,
+// the crash is fatal and surfaces as ErrAllReplicasDown; replicated, the
+// run completes with verified data and a positive recovery latency.
+func TestT16Outcomes(t *testing.T) {
+	if r := t16Run(1, true, false); !errors.Is(r.Err, dafs.ErrAllReplicasDown) {
+		t.Errorf("r=1 kill: err=%v, want ErrAllReplicasDown", r.Err)
+	}
+	r := t16Run(2, true, false)
+	if r.Err != nil || !r.Verified {
+		t.Fatalf("r=2 kill: err=%v verified=%v, want a verified completion", r.Err, r.Verified)
+	}
+	if r.Recovery <= 0 {
+		t.Errorf("r=2 kill: recovery latency %v, want positive", r.Recovery)
+	}
+	if r.Retries == 0 {
+		t.Error("r=2 kill: no redial attempts recorded")
+	}
+	healthy := t16Run(2, false, false)
+	if healthy.Err != nil || !healthy.Verified {
+		t.Fatalf("r=2 healthy: err=%v verified=%v", healthy.Err, healthy.Verified)
+	}
+	if r.MBps >= healthy.MBps {
+		t.Errorf("killed run %.1f MB/s not below healthy %.1f MB/s", r.MBps, healthy.MBps)
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"dafsio/internal/dafs"
 	"dafsio/internal/fabric"
+	"dafsio/internal/fault"
 	"dafsio/internal/kstack"
 	"dafsio/internal/model"
 	"dafsio/internal/mpi"
@@ -53,6 +54,13 @@ type Config struct {
 	// use NewTraced, which handles the ordering. Tracing is observational:
 	// simulated timing is identical with it on or off.
 	Tracer func(k *sim.Kernel) *trace.Tracer
+	// Faults, when non-nil, installs a fault-injection plan on the cluster,
+	// wired exactly like Tracer: use fault.Installer(plan). Component
+	// events (server crash, slow disk) are scheduled as kernel events at
+	// their plan times; wire events (stall, drop, dup) are consulted by
+	// every NIC's transmit path. Nil means a fault-free cluster with
+	// bit-identical behaviour to builds without the hook.
+	Faults func(k *sim.Kernel) *fault.Injector
 }
 
 // Cluster is the assembled testbed.
@@ -80,7 +88,8 @@ type Cluster struct {
 	Stacks      []*kstack.Stack // per client (when NFS)
 	World       *mpi.World      // when MPI
 
-	Tracer *trace.Tracer // non-nil when the config enabled tracing
+	Tracer *trace.Tracer   // non-nil when the config enabled tracing
+	Faults *fault.Injector // non-nil when the config installed faults
 }
 
 // New builds a cluster.
@@ -112,6 +121,10 @@ func New(cfg Config) *Cluster {
 		// capture the provider's tracer at construction.
 		c.Tracer = cfg.Tracer(k)
 		c.Prov.Tracer = c.Tracer
+	}
+	if cfg.Faults != nil {
+		c.Faults = cfg.Faults(k)
+		c.Prov.Faults = c.Faults
 	}
 	// Server 0 keeps the seed topology's names and construction order so
 	// single-server experiments are bit-for-bit unchanged; extra servers
@@ -175,7 +188,72 @@ func New(cfg Config) *Cluster {
 	if cfg.MPI {
 		c.World = mpi.NewWorld(c.NICs)
 	}
+	c.scheduleFaults()
 	return c
+}
+
+// scheduleFaults turns the installed plan's component-level events into
+// kernel events against the named nodes. Wire-level events (stall, drop,
+// dup) need no scheduling: the NICs consult the injector directly.
+func (c *Cluster) scheduleFaults() {
+	for _, ev := range c.Faults.Events() {
+		ev := ev
+		switch ev.Kind {
+		case fault.ServerCrash:
+			node := c.nodeByName(ev.Node)
+			srv := c.dafsSrvOn(node)
+			c.K.At(ev.At, func() {
+				if nic := c.Prov.NIC(node.ID); nic != nil {
+					nic.Kill()
+				}
+				if srv != nil {
+					srv.Crash()
+				}
+			})
+		case fault.SlowDisk:
+			disk := c.diskOn(c.nodeByName(ev.Node))
+			if disk == nil {
+				panic(fmt.Sprintf("cluster: slow-disk fault on %q, which has no disk", ev.Node))
+			}
+			c.K.At(ev.At, func() { disk.SetSlowdown(ev.Factor) })
+			c.K.At(ev.At+ev.Dur, func() { disk.SetSlowdown(1) })
+		}
+	}
+}
+
+// nodeByName resolves a fault target.
+func (c *Cluster) nodeByName(name string) *fabric.Node {
+	for _, n := range c.ServerNodes {
+		if n.Name == name {
+			return n
+		}
+	}
+	for _, n := range c.ClientNodes {
+		if n.Name == name {
+			return n
+		}
+	}
+	panic(fmt.Sprintf("cluster: fault names unknown node %q", name))
+}
+
+// dafsSrvOn returns the DAFS server hosted on the node, or nil.
+func (c *Cluster) dafsSrvOn(node *fabric.Node) *dafs.Server {
+	for i, n := range c.ServerNodes {
+		if n == node && i < len(c.DAFSSrvs) {
+			return c.DAFSSrvs[i]
+		}
+	}
+	return nil
+}
+
+// diskOn returns the disk on the node, or nil.
+func (c *Cluster) diskOn(node *fabric.Node) *storage.Disk {
+	for i, n := range c.ServerNodes {
+		if n == node {
+			return c.Disks[i]
+		}
+	}
+	return nil
 }
 
 // DialDAFS opens a DAFS session from client i to server 0 (the only

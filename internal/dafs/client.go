@@ -19,6 +19,14 @@ type Options struct {
 	// MaxInline is the largest data payload carried inside a message;
 	// larger transfers must use the direct (RDMA) operations.
 	MaxInline int
+	// CallTimeout, when positive, bounds every outstanding request in
+	// simulated time: a call with no response after CallTimeout fails the
+	// session with an error wrapping ErrSession and ErrTimeout. Zero (the
+	// default) disables the deadline — a dead peer then hangs the call
+	// forever, the pre-recovery behavior. Fault-tolerant callers (replica
+	// failover) must set it: a crashed server never answers, so the
+	// deadline is the only failure detector.
+	CallTimeout sim.Time
 }
 
 func (o *Options) withDefaults() Options {
@@ -29,6 +37,9 @@ func (o *Options) withDefaults() Options {
 		}
 		if o.MaxInline > 0 {
 			out.MaxInline = o.MaxInline
+		}
+		if o.CallTimeout > 0 {
+			out.CallTimeout = o.CallTimeout
 		}
 	}
 	return out
@@ -84,6 +95,11 @@ type Client struct {
 	prof *model.Profile
 	k    *sim.Kernel
 
+	// Dial target and negotiated options, kept so Redial can establish a
+	// replacement session after a failure.
+	srv  *Server
+	opts Options
+
 	vi      *via.VI
 	cq      *via.CQ
 	credits *sim.Resource
@@ -113,6 +129,8 @@ func Dial(p *sim.Proc, nic *via.NIC, srv *Server, opts *Options) (*Client, error
 		node:        nic.Node,
 		prof:        prov.Prof,
 		k:           prov.K,
+		srv:         srv,
+		opts:        o,
 		pending:     make(map[uint32]*Call),
 		maxInline:   o.MaxInline,
 		slotSize:    HeaderLen + 512 + o.MaxInline,
@@ -248,13 +266,17 @@ func (c *Client) dispatch(p *sim.Proc) {
 	}
 }
 
-// fail marks the session broken and fails every pending call. Pending
-// calls complete in XID (issue) order: delivering in map order would make
-// wakeup order — and therefore simulated time after a failure — differ
-// between runs.
+// fail marks the session broken and fails every pending call. The first
+// failure is sticky: a second transport failure must not overwrite failErr,
+// or callers collecting a late completion would see a different error than
+// the one that actually broke the session. The cause is wrapped alongside
+// ErrSession (both `%w`), so a deadline-induced failure matches ErrTimeout
+// too. Pending calls complete in XID (issue) order: delivering in map order
+// would make wakeup order — and therefore simulated time after a failure —
+// differ between runs.
 func (c *Client) fail(err error) {
 	if c.failErr == nil {
-		c.failErr = fmt.Errorf("%w: %v", ErrSession, err)
+		c.failErr = fmt.Errorf("%w: %w", ErrSession, err)
 	}
 	c.closed = true
 	xids := make([]uint32, 0, len(c.pending))
@@ -317,8 +339,25 @@ func (c *Client) start(p *sim.Proc, proc Proc, enc func(w *wr)) (*Call, error) {
 		c.tr.End(op)
 		return nil, err
 	}
+	if c.opts.CallTimeout > 0 {
+		// Arm the per-call deadline. The closure runs in kernel context at
+		// the deadline; if the response has arrived by then the call is no
+		// longer pending and the timer is a no-op.
+		c.k.After(c.opts.CallTimeout, func() { c.expire(xid) })
+	}
 	c.stats.Ops++
 	return call, nil
+}
+
+// expire fails the session when a call outlives Options.CallTimeout. The
+// whole session fails — not just the one call — because on a reliable
+// transport a missing response means the peer (or the path to it) is gone,
+// DAFS's session-level failure semantics.
+func (c *Client) expire(xid uint32) {
+	if _, ok := c.pending[xid]; !ok {
+		return
+	}
+	c.fail(fmt.Errorf("%w: call %d got no response within %v", ErrTimeout, xid, c.opts.CallTimeout))
 }
 
 // roundtrip issues a request and waits for its response.
@@ -735,14 +774,41 @@ func (c *Client) WriteBatch(p *sim.Proc, fh FH, segs []SegSpec, reg *via.Region,
 	return io.Wait(p)
 }
 
-// Close disconnects the session.
+// Close disconnects the session. Closing a session that already failed is
+// a no-op that reports the original wrapped ErrSession — not a secondary
+// error: the caller tearing down after a failure needs the root cause, and
+// there is no peer left to disconnect from.
 func (c *Client) Close(p *sim.Proc) error {
+	if c.failErr != nil {
+		return c.failErr
+	}
 	if c.closed {
 		return nil
 	}
 	_, err := c.roundtrip(p, ProcDisconnect, func(w *wr) {})
 	c.closed = true
 	return err
+}
+
+// Broken reports whether the session has suffered a transport failure.
+func (c *Client) Broken() bool { return c.failErr != nil }
+
+// FailErr returns the sticky session failure (nil while healthy).
+func (c *Client) FailErr() error { return c.failErr }
+
+// Redial establishes a fresh session to the same server with the same
+// options, preserving the trace tag. It does not touch the old session
+// (which is typically already failed). Server-side file handles are
+// store-level, so handles resolved on the old session stay valid on the
+// new one — the property replica failover relies on to resume I/O without
+// re-opening files.
+func (c *Client) Redial(p *sim.Proc) (*Client, error) {
+	nc, err := Dial(p, c.nic, c.srv, &c.opts)
+	if err != nil {
+		return nil, err
+	}
+	nc.traceServer = c.traceServer
+	return nc, nil
 }
 
 // IO is an in-flight data operation started by one of the Start methods.

@@ -96,6 +96,14 @@ var (
 	ErrProto   = errors.New("dafs: protocol error")
 	ErrClosed  = errors.New("dafs: session closed")
 	ErrSession = errors.New("dafs: session failure")
+	// ErrTimeout marks a session failure caused by a per-call deadline
+	// (Options.CallTimeout) expiring in simulated time; the session error
+	// wraps both ErrSession and ErrTimeout so either sentinel matches.
+	ErrTimeout = errors.New("dafs: call deadline exceeded")
+	// ErrAllReplicasDown is wrapped by failover dispatchers (the striped
+	// MPI-IO driver) when every replica of a stripe is unreachable and
+	// session recovery has been exhausted.
+	ErrAllReplicasDown = errors.New("dafs: all replicas down")
 )
 
 // Err maps a status to its error (nil for StatusOK).

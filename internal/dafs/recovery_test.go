@@ -1,0 +1,168 @@
+package dafs
+
+import (
+	"errors"
+	"testing"
+
+	"dafsio/internal/sim"
+)
+
+// TestCloseAfterFailureReturnsFailErr is the regression test for the
+// close-after-failure bug: Close on a failed session must surface the
+// original session error (wrapped so errors.Is matches ErrSession), not
+// attempt a disconnect round trip, and a second failure must not
+// overwrite the first.
+func TestCloseAfterFailureReturnsFailErr(t *testing.T) {
+	r := newRig(1, nil)
+	r.run(t, func(p *sim.Proc, c *Client) {
+		first := errors.New("injected: first failure")
+		c.fail(first)
+		err := c.Close(p)
+		if !errors.Is(err, ErrSession) {
+			t.Errorf("Close after fail: err=%v, want ErrSession", err)
+		}
+		if !errors.Is(err, first) {
+			t.Errorf("Close after fail: err=%v, want the original cause %v", err, first)
+		}
+		// A later failure (e.g. a straggling timer) must not clobber the
+		// recorded cause.
+		c.fail(errors.New("injected: second failure"))
+		if err := c.Close(p); !errors.Is(err, first) {
+			t.Errorf("Close after second fail: err=%v, want first cause kept", err)
+		}
+		if !c.Broken() || !errors.Is(c.FailErr(), first) {
+			t.Errorf("Broken=%v FailErr=%v, want broken with first cause", c.Broken(), c.FailErr())
+		}
+	})
+}
+
+// TestCallTimeoutFailsSession: with Options.CallTimeout set and the server
+// silently gone (crashed node, dead NIC — fail-stop), an in-flight call
+// must fail the whole session after exactly the deadline, with an error
+// matching both ErrTimeout and ErrSession.
+func TestCallTimeoutFailsSession(t *testing.T) {
+	r := newRig(1, nil)
+	const deadline = 3 * sim.Millisecond
+	r.k.Spawn("app", func(p *sim.Proc) {
+		c, err := Dial(p, r.cNICs[0], r.srv, &Options{CallTimeout: deadline})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		fh, _, err := c.Create(p, "f")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Fail-stop the server: NIC dead (requests vanish), server crashed.
+		r.srv.NIC().Kill()
+		r.srv.Crash()
+		t0 := p.Now()
+		io, err := c.StartWrite(p, fh, 0, pattern(4096, 1))
+		if err != nil {
+			t.Errorf("start: %v", err)
+			return
+		}
+		_, err = io.Wait(p)
+		if !errors.Is(err, ErrTimeout) || !errors.Is(err, ErrSession) {
+			t.Errorf("err=%v, want ErrTimeout wrapped in ErrSession", err)
+		}
+		// The deadline is armed when the request hits the wire, a few
+		// microseconds of marshal/copy after t0.
+		if waited := p.Now() - t0; waited < deadline || waited > deadline+100*sim.Microsecond {
+			t.Errorf("call failed after %v, want the %v deadline (plus issue cost)", waited, deadline)
+		}
+		// The deadline error is the sticky session error.
+		if err := c.Close(p); !errors.Is(err, ErrTimeout) {
+			t.Errorf("Close: %v, want the timeout kept as the session cause", err)
+		}
+	})
+	if err := r.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRedialToCrashedServerFailsFast: Redial against a crashed server is
+// rejected at accept (ErrSession) instead of hanging on a dead NIC.
+func TestRedialToCrashedServerFailsFast(t *testing.T) {
+	r := newRig(1, nil)
+	r.run(t, func(p *sim.Proc, c *Client) {
+		c.fail(errors.New("injected"))
+		r.srv.Crash()
+		if _, err := c.Redial(p); !errors.Is(err, ErrSession) {
+			t.Errorf("redial to crashed server: err=%v, want ErrSession", err)
+		}
+	})
+}
+
+// TestRedialRestoresServiceAndHandles: after a session failure, Redial
+// yields a working session on the same NIC/server pair with the same
+// options — and file handles issued by the old session stay valid,
+// because FHs are store-level and survive reconnection.
+func TestRedialRestoresServiceAndHandles(t *testing.T) {
+	r := newRig(1, nil)
+	const deadline = 5 * sim.Millisecond
+	r.k.Spawn("app", func(p *sim.Proc) {
+		c, err := Dial(p, r.cNICs[0], r.srv, &Options{CallTimeout: deadline})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		fh, _, err := c.Create(p, "f")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		want := pattern(4096, 7)
+		if _, err := c.Write(p, fh, 0, want); err != nil {
+			t.Error(err)
+			return
+		}
+		c.fail(errors.New("injected transport failure"))
+		nc, err := c.Redial(p)
+		if err != nil {
+			t.Errorf("redial: %v", err)
+			return
+		}
+		if nc.opts.CallTimeout != deadline {
+			t.Errorf("redial dropped options: CallTimeout=%v", nc.opts.CallTimeout)
+		}
+		// The pre-failure handle works on the new session.
+		got := make([]byte, len(want))
+		if _, err := nc.Read(p, fh, 0, got); err != nil {
+			t.Errorf("read with old FH after redial: %v", err)
+			return
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("byte %d: got %d want %d", i, got[i], want[i])
+			}
+		}
+	})
+	if err := r.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRetryPolicyBackoff: capped exponential doubling, deterministic (no
+// jitter — the whole simulation shares one clock).
+func TestRetryPolicyBackoff(t *testing.T) {
+	rp := RetryPolicy{Base: 100 * sim.Microsecond, Max: 800 * sim.Microsecond, Attempts: 6}
+	want := []sim.Time{
+		100 * sim.Microsecond,
+		200 * sim.Microsecond,
+		400 * sim.Microsecond,
+		800 * sim.Microsecond,
+		800 * sim.Microsecond, // capped
+		800 * sim.Microsecond,
+	}
+	for i, w := range want {
+		if got := rp.Backoff(i); got != w {
+			t.Errorf("Backoff(%d) = %v, want %v", i, got, w)
+		}
+	}
+	uncapped := RetryPolicy{Base: sim.Microsecond, Attempts: 3}
+	if got := uncapped.Backoff(10); got != 1024*sim.Microsecond {
+		t.Errorf("uncapped Backoff(10) = %v, want 1024us", got)
+	}
+}

@@ -1,0 +1,38 @@
+package dafs
+
+import "dafsio/internal/sim"
+
+// RetryPolicy is a deterministic capped-exponential-backoff schedule for
+// session recovery, measured entirely in simulated time. The zero value
+// means "never retry": a dispatcher with a zero policy treats the first
+// session failure as final.
+//
+// There is deliberately no jitter. Real systems add jitter to decorrelate
+// retry storms across independent clocks; in a discrete-event simulation
+// every process shares one virtual clock and the experiments require
+// byte-identical reruns, so jitter would only destroy reproducibility
+// without buying the decorrelation it exists for.
+type RetryPolicy struct {
+	// Base is the delay before the first retry.
+	Base sim.Time
+	// Max caps the exponentially growing delay.
+	Max sim.Time
+	// Attempts is how many redials to try before giving up.
+	Attempts int
+}
+
+// Backoff returns the delay before retry attempt i (0-based): Base doubled
+// i times, capped at Max.
+func (rp RetryPolicy) Backoff(i int) sim.Time {
+	d := rp.Base
+	for ; i > 0; i-- {
+		if rp.Max > 0 && d >= rp.Max {
+			break
+		}
+		d *= 2
+	}
+	if rp.Max > 0 && d > rp.Max {
+		d = rp.Max
+	}
+	return d
+}

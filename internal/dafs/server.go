@@ -49,6 +49,7 @@ type Server struct {
 	cq       *via.CQ
 	workQ    *sim.Chan[*srvReq]
 	sessions []*session
+	crashed  bool
 
 	tr    *trace.Tracer
 	stats ServerStats
@@ -127,11 +128,23 @@ func (s *Server) NIC() *via.NIC { return s.nic }
 // Stats returns a copy of the server counters.
 func (s *Server) Stats() ServerStats { return s.stats }
 
+// Crash fail-stops the server: it rejects new sessions and stops servicing
+// requests. Crashed servers never restart — the fault model is fail-stop,
+// and recovery is the clients' job (redial another replica). Pair with
+// NIC.Kill so in-flight wire traffic dies too.
+func (s *Server) Crash() { s.crashed = true }
+
+// Crashed reports whether the server has fail-stopped.
+func (s *Server) Crashed() bool { return s.crashed }
+
 // accept performs the server side of session establishment: it creates and
 // connects the VI, registers the session's message buffers, and pre-posts
 // one receive per credit. It runs in the dialing process but charges the
 // server's CPU.
 func (s *Server) accept(p *sim.Proc, clientVI *via.VI, o Options, slotSize int) error {
+	if s.crashed {
+		return fmt.Errorf("%w: server %s is down", ErrSession, s.node.Name)
+	}
 	s.node.Compute(p, s.prof.DAFSOpCost) // session setup
 	vi := s.nic.NewVI(s.cq, s.cq)
 	via.Connect(clientVI, vi)
@@ -190,6 +203,9 @@ func (s *Server) worker(p *sim.Proc) {
 }
 
 func (s *Server) handle(p *sim.Proc, req *srvReq) {
+	if s.crashed {
+		return
+	}
 	sess := req.sess
 	msg := req.s.bytes()[:req.length]
 	hdr, err := decodeHeader(msg)

@@ -22,6 +22,15 @@ type Striping struct {
 	StripeSize int64
 	// Width is the number of servers (>= 1).
 	Width int
+	// Replicas is how many copies of each stripe exist (0 and 1 both mean
+	// unreplicated). Replica rank r of a stripe whose primary lives on
+	// server s is placed on server (s+r) mod Width — rotation, so no two
+	// replicas of one stripe ever share a server, which is why Validate
+	// rejects Replicas > Width. The placement keeps every rank dense: the
+	// rank-r object on server t is a byte-identical mirror of the primary
+	// object of server (t-r+Width) mod Width, so fragment offsets need no
+	// per-rank translation.
+	Replicas int
 }
 
 // Validate reports whether the policy is usable.
@@ -32,7 +41,37 @@ func (s Striping) Validate() error {
 	if s.Width > 1 && s.StripeSize <= 0 {
 		return fmt.Errorf("layout: stripe size %d must be positive for width %d", s.StripeSize, s.Width)
 	}
+	if s.Replicas < 0 {
+		return fmt.Errorf("layout: replicas %d < 0", s.Replicas)
+	}
+	if s.Replicas > s.Width {
+		return fmt.Errorf("layout: replicas %d > width %d (replicas of one stripe must land on distinct servers)", s.Replicas, s.Width)
+	}
 	return nil
+}
+
+// R returns the effective replica count (at least 1).
+func (s Striping) R() int {
+	if s.Replicas < 1 {
+		return 1
+	}
+	return s.Replicas
+}
+
+// ReplicaServer returns the server holding replica rank r of a stripe
+// whose primary is on server primary.
+func (s Striping) ReplicaServer(primary, r int) int {
+	return (primary + r) % s.Width
+}
+
+// ReplicaName returns the stripe-object name for replica rank r of the
+// named file. Rank 0 keeps the plain name so unreplicated layouts are
+// wire- and store-compatible with pre-replication ones.
+func ReplicaName(name string, r int) string {
+	if r == 0 {
+		return name
+	}
+	return fmt.Sprintf("%s#%d", name, r)
 }
 
 // Fragment is one piece of a logical extent on one server.

@@ -1,0 +1,113 @@
+package layout
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestReplicaPlacementProperty drives random replicated policies and pins
+// the rotation-placement invariants: rank 0 is the primary, every rank
+// lands on a server in range, and no two replicas of one stripe ever
+// share a server — the property read-any/write-all failover rests on
+// (losing one server loses at most one copy of any stripe).
+func TestReplicaPlacementProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260806))
+	for trial := 0; trial < 500; trial++ {
+		width := 1 + rng.Intn(8)
+		st := Striping{
+			StripeSize: 1 + rng.Int63n(1<<10),
+			Width:      width,
+			Replicas:   rng.Intn(width + 1),
+		}
+		if err := st.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for primary := 0; primary < width; primary++ {
+			if st.ReplicaServer(primary, 0) != primary {
+				t.Fatalf("trial %d: rank 0 of primary %d not on the primary", trial, primary)
+			}
+			seen := make(map[int]bool)
+			for r := 0; r < st.R(); r++ {
+				srv := st.ReplicaServer(primary, r)
+				if srv < 0 || srv >= width {
+					t.Fatalf("trial %d: rank %d of primary %d on server %d, width %d", trial, r, primary, srv, width)
+				}
+				if seen[srv] {
+					t.Fatalf("trial %d: two replicas of primary %d's stripes share server %d", trial, primary, srv)
+				}
+				seen[srv] = true
+			}
+		}
+	}
+}
+
+// TestReplicaMirrorIsDense pins the mirror identity the striped driver's
+// fragment math relies on: the rank-r object on server t holds exactly
+// the stripes of the primary object of server (t-r+W)%W, at the same
+// offsets — so for a dense n-byte file its size equals that primary
+// object's size and every mapped fragment stays in bounds on every rank.
+func TestReplicaMirrorIsDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		width := 1 + rng.Intn(6)
+		st := Striping{
+			StripeSize: 1 + rng.Int63n(512),
+			Width:      width,
+			Replicas:   1 + rng.Intn(width),
+		}
+		n := rng.Int63n(32 << 10)
+		sizes := st.ObjectSizes(n)
+		for _, f := range st.Map(0, n) {
+			for r := 0; r < st.R(); r++ {
+				tgt := st.ReplicaServer(f.Server, r)
+				// The rank-r object on tgt mirrors primary f.Server, so the
+				// fragment's object extent must fit that primary's size.
+				if mirror := sizes[(tgt-r+width)%width]; f.Off+f.Len > mirror {
+					t.Fatalf("trial %d: fragment %+v rank %d overruns mirror object (%d > %d)",
+						trial, f, r, f.Off+f.Len, mirror)
+				}
+			}
+		}
+	}
+}
+
+// TestValidateReplicas: the replica count must fit the rotation — more
+// replicas than servers would force two copies of a stripe onto one
+// server, and negative counts are nonsense. 0 and 1 both mean
+// unreplicated (R() normalizes).
+func TestValidateReplicas(t *testing.T) {
+	ok := Striping{StripeSize: 64, Width: 4, Replicas: 4}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("replicas == width must validate: %v", err)
+	}
+	for _, bad := range []Striping{
+		{StripeSize: 64, Width: 4, Replicas: 5},
+		{StripeSize: 64, Width: 1, Replicas: 2},
+		{StripeSize: 64, Width: 4, Replicas: -1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("%+v validated, want error", bad)
+		}
+	}
+	for repl, want := range map[int]int{0: 1, 1: 1, 3: 3} {
+		if got := (Striping{StripeSize: 64, Width: 4, Replicas: repl}).R(); got != want {
+			t.Errorf("R() with Replicas=%d: got %d want %d", repl, got, want)
+		}
+	}
+}
+
+// TestReplicaName: rank 0 keeps the plain name (wire compatibility with
+// unreplicated layouts); higher ranks get distinct derived names.
+func TestReplicaName(t *testing.T) {
+	if got := ReplicaName("f", 0); got != "f" {
+		t.Errorf("rank 0 name %q, want identity", got)
+	}
+	names := map[string]bool{}
+	for r := 0; r < 4; r++ {
+		n := ReplicaName("f", r)
+		if names[n] {
+			t.Errorf("rank %d name %q collides", r, n)
+		}
+		names[n] = true
+	}
+}

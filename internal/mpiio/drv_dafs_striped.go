@@ -7,6 +7,7 @@ import (
 	"dafsio/internal/dafs"
 	"dafsio/internal/layout"
 	"dafsio/internal/sim"
+	"dafsio/internal/trace"
 	"dafsio/internal/via"
 )
 
@@ -19,9 +20,21 @@ import (
 // the contiguous prefix so EOF mid-stripe keeps POSIX short-read
 // semantics. Each server stores one stripe object under the file's name.
 //
+// With Replicas > 1 the driver adds ROMIO/ADIO-style multi-backend
+// dispatch policy on top of the layout's rotated replica placement:
+// writes go to every replica of a fragment (write-all), reads are served
+// by the first usable replica (read-any), and a session failure on one
+// replica fails over to the next while a background process re-establishes
+// the dead session under the driver's RetryPolicy. A server that misses a
+// write is excluded from read-any from then on — its object is stale —
+// and when every replica of a fragment is gone the operation fails
+// wrapping dafs.ErrAllReplicasDown.
+//
 // With Width == 1 the layout is the identity mapping and every request
 // becomes exactly the operation the plain DAFSDriver would issue, so the
 // single-server tables are the stripes=1 special case of this driver.
+// With Replicas <= 1 and no failures, every code path issues exactly the
+// operations the unreplicated driver did, in the same order.
 //
 // The embedded DAFSDriver (over the pool's first session) supplies the
 // transfer-discipline knobs and the registration cache; all sessions of a
@@ -31,6 +44,21 @@ type StripedDAFSDriver struct {
 	*DAFSDriver
 	clients  []*dafs.Client
 	striping layout.Striping
+
+	// Retry governs session recovery: after a failure the driver redials
+	// the dead server with capped exponential backoff in simulated time.
+	// The zero value (Attempts == 0) never redials — the first failure on
+	// a server is final, the pre-replication behaviour.
+	Retry dafs.RetryPolicy
+
+	// Retries counts redial attempts (stat).
+	Retries int64
+
+	down     []bool                  // per server: session currently unusable
+	excluded []bool                  // per server: missed a write, stale for reads
+	gaveUp   []bool                  // per server: recovery exhausted, permanently dead
+	episode  []*sim.Future[struct{}] // per server: in-progress recovery, nil when none
+	epoch    []int                   // per server: recovery episode counter
 }
 
 // NewStripedDAFSDriver wraps a session pool, one session per server in
@@ -46,6 +74,11 @@ func NewStripedDAFSDriver(clients []*dafs.Client, st layout.Striping) *StripedDA
 		DAFSDriver: NewDAFSDriver(clients[0]),
 		clients:    clients,
 		striping:   st,
+		down:       make([]bool, st.Width),
+		excluded:   make([]bool, st.Width),
+		gaveUp:     make([]bool, st.Width),
+		episode:    make([]*sim.Future[struct{}], st.Width),
+		epoch:      make([]int, st.Width),
 	}
 	for _, c := range clients {
 		if c.NIC() != clients[0].NIC() {
@@ -70,44 +103,209 @@ func (d *StripedDAFSDriver) Name() string {
 	if d.striping.Width == 1 {
 		return "dafs"
 	}
+	if r := d.striping.R(); r > 1 {
+		return fmt.Sprintf("dafs-striped/%dx%d", d.striping.Width, r)
+	}
 	return fmt.Sprintf("dafs-striped/%d", d.striping.Width)
 }
 
-// Open implements Driver: the file's stripe object is looked up (or
-// created) on every server. The per-server Lookups go out concurrently —
-// the sessions are independent, so the latency is one round trip rather
-// than Width of them — and the Creates for the servers that reported
-// ErrNoEnt go out as a second concurrent wave.
+// isSessionErr reports whether err is (or wraps) a DAFS session failure —
+// the class failover handles; everything else is a hard protocol or
+// storage error surfaced to the caller.
+func isSessionErr(err error) bool {
+	return errors.Is(err, dafs.ErrSession)
+}
+
+// allDown builds the operation-level error for a fragment with no usable
+// replica left, wrapping both dafs.ErrAllReplicasDown and (when known) the
+// last session failure so either sentinel matches.
+func allDown(last error) error {
+	if last == nil {
+		return fmt.Errorf("mpiio: %w", dafs.ErrAllReplicasDown)
+	}
+	return fmt.Errorf("mpiio: %w: %w", dafs.ErrAllReplicasDown, last)
+}
+
+// kernel returns the simulation kernel the pool runs on.
+func (d *StripedDAFSDriver) kernel() *sim.Kernel { return d.clients[0].NIC().Provider().K }
+
+// noteFailure records a session failure on server s. The first failure of
+// a session marks the server down and, when a retry policy is set, spawns
+// a recovery process that redials the server with capped exponential
+// backoff; concurrent failures of the same session (every in-flight op on
+// it fails at once) collapse into one episode, and failures of an already
+// replaced session are ignored.
+func (d *StripedDAFSDriver) noteFailure(p *sim.Proc, s int, failed *dafs.Client) {
+	if d.clients[s] != failed || d.down[s] {
+		return
+	}
+	d.down[s] = true
+	if d.gaveUp[s] {
+		return
+	}
+	if d.Retry.Attempts <= 0 {
+		d.gaveUp[s] = true
+		return
+	}
+	k := d.kernel()
+	fut := sim.NewFuture[struct{}](k)
+	d.episode[s] = fut
+	d.epoch[s]++
+	name := fmt.Sprintf("%s.redial.s%d.e%d", failed.NIC().Node.Name, s, d.epoch[s])
+	k.Spawn(name, func(rp *sim.Proc) {
+		defer func() {
+			d.episode[s] = nil
+			fut.Set(struct{}{})
+		}()
+		for a := 0; a < d.Retry.Attempts; a++ {
+			rp.Wait(d.Retry.Backoff(a))
+			d.Retries++
+			nc, err := failed.Redial(rp)
+			if err == nil {
+				d.clients[s] = nc
+				d.down[s] = false
+				return
+			}
+		}
+		d.gaveUp[s] = true
+	})
+}
+
+// usable reports whether server t's rank-r object can serve an operation
+// right now. Reads additionally refuse servers that missed a write —
+// their object is stale and write-all/read-any only guarantees freshness
+// on replicas that saw every acked write.
+func (h *stripedHandle) usable(t, r int, forRead bool) bool {
+	d := h.drv
+	if d.down[t] || h.fhs[t][r] == 0 {
+		return false
+	}
+	if forRead && d.excluded[t] {
+		return false
+	}
+	return true
+}
+
+// pickRead chooses the replica to serve a read of a fragment with primary
+// server f.Server: the first usable rank in rank order (read-any). With
+// Replicas == 1 on a healthy pool this is always (f.Server, 0) — the
+// unreplicated dispatch.
+func (h *stripedHandle) pickRead(f layout.Fragment) (t, r int, ok bool) {
+	st := h.drv.striping
+	for r := 0; r < st.R(); r++ {
+		t := st.ReplicaServer(f.Server, r)
+		if h.usable(t, r, true) {
+			return t, r, true
+		}
+	}
+	return 0, 0, false
+}
+
+// waitRecovery blocks until some replica of primary server srv is usable
+// again, charging the wait to the current operation span as retry time. It
+// returns false when every replica is permanently gone (recovery given up,
+// object absent, or — for reads — stale), the ErrAllReplicasDown case.
+func (h *stripedHandle) waitRecovery(p *sim.Proc, srv int, forRead bool) bool {
+	d := h.drv
+	st := d.striping
+	tr := d.Tracer()
+	for {
+		dead := true
+		for r := 0; r < st.R(); r++ {
+			t := st.ReplicaServer(srv, r)
+			if h.usable(t, r, forRead) {
+				return true
+			}
+			if !d.gaveUp[t] && h.fhs[t][r] != 0 && !(forRead && d.excluded[t]) {
+				dead = false
+			}
+		}
+		if dead {
+			return false
+		}
+		// Recovery is in flight on some replica server: wait for the first
+		// episode to settle, then re-evaluate.
+		var fut *sim.Future[struct{}]
+		for r := 0; r < st.R(); r++ {
+			if f := d.episode[st.ReplicaServer(srv, r)]; f != nil {
+				fut = f
+				break
+			}
+		}
+		if fut == nil {
+			return false
+		}
+		t0 := p.Now()
+		fut.Get(p)
+		tr.Charge(trace.OpID(p.TraceCtx()), trace.CatRetry, p.Now()-t0)
+	}
+}
+
+// Open implements Driver: every rank's stripe object is looked up (or
+// created) on every server. The per-server, per-rank Lookups go out
+// concurrently — the sessions are independent, so the latency is one
+// round trip rather than Width of them — and the Creates for the objects
+// that reported ErrNoEnt go out as a second concurrent wave. Servers whose
+// session fails mid-open are skipped (their handles stay absent); the open
+// succeeds as long as every primary keeps at least one resolvable replica.
 func (d *StripedDAFSDriver) Open(p *sim.Proc, name string, mode int) (Handle, error) {
 	if err := checkAccessMode(mode); err != nil {
 		return nil, err
 	}
-	lookups := make([]*dafs.NameOp, len(d.clients))
-	var startErr error
-	for i, c := range d.clients {
-		op, err := c.StartLookup(p, name)
-		if err != nil {
-			startErr = err
-			break
-		}
-		lookups[i] = op
-	}
-	fhs := make([]dafs.FH, len(d.clients))
-	var missing []int // servers that need a Create
-	var opErr error
-	for i, op := range lookups {
-		if op == nil {
+	st := d.striping
+	W, R := st.Width, st.R()
+	lookups := make([][]*dafs.NameOp, W)
+	var startErr, lastSess error
+	skipped := false
+issue:
+	for t := 0; t < W; t++ {
+		lookups[t] = make([]*dafs.NameOp, R)
+		if d.down[t] {
+			skipped = true
 			continue
 		}
-		fh, _, err := op.Wait(p)
-		switch {
-		case err == nil:
-			fhs[i] = fh
-		case errors.Is(err, dafs.ErrNoEnt) && mode&ModeCreate != 0:
-			missing = append(missing, i)
-		default:
-			if opErr == nil {
-				opErr = err
+		c := d.clients[t]
+		for r := 0; r < R; r++ {
+			op, err := c.StartLookup(p, layout.ReplicaName(name, r))
+			if err != nil {
+				if isSessionErr(err) {
+					d.noteFailure(p, t, c)
+					lastSess, skipped = err, true
+					continue issue
+				}
+				startErr = err
+				break issue
+			}
+			lookups[t][r] = op
+		}
+	}
+	fhs := make([][]dafs.FH, W)
+	for t := range fhs {
+		fhs[t] = make([]dafs.FH, R)
+	}
+	type slot struct{ t, r int }
+	var missing []slot // objects that need a Create
+	found := 0
+	var opErr error
+	for t := 0; t < W; t++ {
+		for r, op := range lookups[t] {
+			if op == nil {
+				continue
+			}
+			fh, _, err := op.Wait(p)
+			switch {
+			case err == nil:
+				fhs[t][r] = fh
+				found++
+			case errors.Is(err, dafs.ErrNoEnt) && mode&ModeCreate != 0:
+				missing = append(missing, slot{t, r})
+			case isSessionErr(err):
+				d.noteFailure(p, t, d.clients[t])
+				lastSess, skipped = err, true
+			default:
+				if opErr == nil {
+					opErr = err
+				}
 			}
 		}
 	}
@@ -117,14 +315,24 @@ func (d *StripedDAFSDriver) Open(p *sim.Proc, name string, mode int) (Handle, er
 	if opErr != nil {
 		return nil, mapDafsErr(opErr)
 	}
-	if mode&ModeExcl != 0 && len(missing) < len(d.clients) {
+	if mode&ModeExcl != 0 && found > 0 {
 		return nil, ErrExist
 	}
 	if len(missing) > 0 {
 		creates := make([]*dafs.NameOp, len(missing))
-		for j, i := range missing {
-			op, err := d.clients[i].StartCreate(p, name)
+		for j, sl := range missing {
+			if d.down[sl.t] {
+				skipped = true
+				continue
+			}
+			c := d.clients[sl.t]
+			op, err := c.StartCreate(p, layout.ReplicaName(name, sl.r))
 			if err != nil {
+				if isSessionErr(err) {
+					d.noteFailure(p, sl.t, c)
+					lastSess, skipped = err, true
+					continue
+				}
 				startErr = err
 				break
 			}
@@ -135,13 +343,17 @@ func (d *StripedDAFSDriver) Open(p *sim.Proc, name string, mode int) (Handle, er
 				continue
 			}
 			fh, _, err := op.Wait(p)
-			if err != nil {
+			switch {
+			case err == nil:
+				fhs[missing[j].t][missing[j].r] = fh
+			case isSessionErr(err):
+				d.noteFailure(p, missing[j].t, d.clients[missing[j].t])
+				lastSess, skipped = err, true
+			default:
 				if opErr == nil {
 					opErr = err
 				}
-				continue
 			}
-			fhs[missing[j]] = fh
 		}
 		if startErr != nil {
 			return nil, mapDafsErr(startErr)
@@ -150,34 +362,73 @@ func (d *StripedDAFSDriver) Open(p *sim.Proc, name string, mode int) (Handle, er
 			return nil, mapDafsErr(opErr)
 		}
 	}
+	if skipped {
+		// Degraded open: every primary must keep at least one replica.
+		for s := 0; s < W; s++ {
+			ok := false
+			for r := 0; r < R; r++ {
+				if fhs[st.ReplicaServer(s, r)][r] != 0 {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return nil, allDown(lastSess)
+			}
+		}
+	}
 	return &stripedHandle{drv: d, fhs: fhs, name: name, mode: mode}, nil
 }
 
-// Delete implements Driver: the stripe object is removed on every server,
-// all removals in flight at once.
+// Delete implements Driver: every rank's stripe object is removed on every
+// live server, all removals in flight at once. Down servers are skipped —
+// fail-stop leaves their orphan objects behind.
 func (d *StripedDAFSDriver) Delete(p *sim.Proc, name string) error {
-	ops := make([]*dafs.Ack, len(d.clients))
-	var startErr error
-	for i, c := range d.clients {
-		op, err := c.StartRemove(p, name)
-		if err != nil {
-			startErr = err
-			break
-		}
-		ops[i] = op
+	st := d.striping
+	W, R := st.Width, st.R()
+	type wop struct {
+		op *dafs.Ack
+		c  *dafs.Client
+		t  int
 	}
-	missing := 0
-	var opErr error
-	for _, op := range ops {
-		if op == nil {
+	var ops []wop
+	var startErr error
+issue:
+	for t := 0; t < W; t++ {
+		if d.down[t] {
 			continue
 		}
-		err := op.Wait(p)
+		c := d.clients[t]
+		for r := 0; r < R; r++ {
+			op, err := c.StartRemove(p, layout.ReplicaName(name, r))
+			if err != nil {
+				if isSessionErr(err) {
+					d.noteFailure(p, t, c)
+					continue issue
+				}
+				startErr = err
+				break issue
+			}
+			ops = append(ops, wop{op, c, t})
+		}
+	}
+	missing, waited := 0, 0
+	var opErr error
+	for _, w := range ops {
+		err := w.op.Wait(p)
 		switch {
+		case err == nil:
+			waited++
 		case errors.Is(err, dafs.ErrNoEnt):
+			waited++
 			missing++
-		case err != nil && opErr == nil:
+		case isSessionErr(err):
+			d.noteFailure(p, w.t, w.c)
+		case opErr == nil:
+			waited++
 			opErr = err
+		default:
+			waited++
 		}
 	}
 	if startErr != nil {
@@ -186,7 +437,7 @@ func (d *StripedDAFSDriver) Delete(p *sim.Proc, name string) error {
 	if opErr != nil {
 		return mapDafsErr(opErr)
 	}
-	if missing == len(d.clients) {
+	if waited > 0 && missing == waited {
 		return ErrNoEnt
 	}
 	return nil
@@ -194,7 +445,7 @@ func (d *StripedDAFSDriver) Delete(p *sim.Proc, name string) error {
 
 type stripedHandle struct {
 	drv    *StripedDAFSDriver
-	fhs    []dafs.FH // per server, layout order
+	fhs    [][]dafs.FH // per server, per replica rank; 0 = absent
 	name   string
 	mode   int
 	closed bool
@@ -216,50 +467,44 @@ func (h *stripedHandle) check(off int64, write bool) error {
 	return nil
 }
 
-// startFrags maps the request, registers the buffer once if any fragment
-// takes the direct path, and issues every fragment as a nonblocking DAFS
-// op on its server's session. On an issue failure the already-launched
-// fragments are drained (their completions carry no cleanup we can skip)
-// before the error is reported.
-func (h *stripedHandle) startFrags(p *sim.Proc, off int64, buf []byte, write bool) ([]layout.Fragment, multiOp, *via.Region, error) {
+// issueFrag starts one fragment's transfer on one session, inline or
+// direct by the driver's threshold (the same discipline for every replica
+// of the fragment — they are byte-identical transfers to different
+// servers).
+func (h *stripedHandle) issueFrag(p *sim.Proc, c *dafs.Client, fh dafs.FH, f layout.Fragment, buf []byte, reg *via.Region, write bool) (*dafs.IO, error) {
 	d := h.drv.DAFSDriver
-	frags := h.drv.striping.Map(off, int64(len(buf)))
-	var reg *via.Region
-	for _, f := range frags {
-		if int(f.Len) > d.DirectThreshold {
-			reg = d.region(p, buf)
-			break
-		}
+	switch {
+	case int(f.Len) <= d.DirectThreshold && write:
+		return c.StartWrite(p, fh, f.Off, buf[f.BufOff:f.BufOff+f.Len])
+	case int(f.Len) <= d.DirectThreshold:
+		return c.StartRead(p, fh, f.Off, buf[f.BufOff:f.BufOff+f.Len])
+	case write:
+		return c.StartWriteDirect(p, fh, f.Off, reg, int(f.BufOff), int(f.Len))
+	default:
+		return c.StartReadDirect(p, fh, f.Off, reg, int(f.BufOff), int(f.Len))
 	}
-	ops := make(multiOp, 0, len(frags))
-	for _, f := range frags {
-		c := h.drv.clients[f.Server]
-		fh := h.fhs[f.Server]
-		var io *dafs.IO
-		var err error
-		switch {
-		case int(f.Len) <= d.DirectThreshold && write:
-			io, err = c.StartWrite(p, fh, f.Off, buf[f.BufOff:f.BufOff+f.Len])
-		case int(f.Len) <= d.DirectThreshold:
-			io, err = c.StartRead(p, fh, f.Off, buf[f.BufOff:f.BufOff+f.Len])
-		case write:
-			io, err = c.StartWriteDirect(p, fh, f.Off, reg, int(f.BufOff), int(f.Len))
-		default:
-			io, err = c.StartReadDirect(p, fh, f.Off, reg, int(f.BufOff), int(f.Len))
-		}
-		if err != nil {
-			ops.Wait(p)
-			if reg != nil {
-				d.release(p, reg)
-			}
-			return nil, nil, nil, mapDafsErr(err)
-		}
-		ops = append(ops, &dafsOp{io: io, drv: d})
-	}
-	return frags, ops, reg, nil
 }
 
-// StartRead implements Handle.
+// fragOp is one replica's in-flight operation for one fragment.
+type fragOp struct {
+	op *dafsOp
+	c  *dafs.Client // session it was issued on (stale-guard for noteFailure)
+	t  int          // server index
+}
+
+// needReg reports whether any fragment takes the direct path.
+func (h *stripedHandle) needReg(frags []layout.Fragment) bool {
+	for _, f := range frags {
+		if int(f.Len) > h.drv.DirectThreshold {
+			return true
+		}
+	}
+	return false
+}
+
+// StartRead implements Handle: each fragment is issued to its read-any
+// replica. Fragments with no usable replica at issue time are deferred to
+// the failover path in Wait.
 func (h *stripedHandle) StartRead(p *sim.Proc, off int64, buf []byte) (AsyncOp, error) {
 	if err := h.check(off, false); err != nil {
 		return nil, err
@@ -267,14 +512,41 @@ func (h *stripedHandle) StartRead(p *sim.Proc, off int64, buf []byte) (AsyncOp, 
 	if len(buf) == 0 {
 		return doneOp{}, nil
 	}
-	frags, ops, reg, err := h.startFrags(p, off, buf, false)
-	if err != nil {
-		return nil, err
+	d := h.drv
+	frags := d.striping.Map(off, int64(len(buf)))
+	var reg *via.Region
+	if h.needReg(frags) {
+		reg = d.region(p, buf)
 	}
-	return &stripedReadOp{frags: frags, ops: ops, drv: h.drv.DAFSDriver, reg: reg}, nil
+	ops := make([]fragOp, len(frags))
+	for i, f := range frags {
+		for {
+			t, r, ok := h.pickRead(f)
+			if !ok {
+				break // deferred: Wait's retry path handles it
+			}
+			c := d.clients[t]
+			io, err := h.issueFrag(p, c, h.fhs[t][r], f, buf, reg, false)
+			if err != nil {
+				if isSessionErr(err) {
+					d.noteFailure(p, t, c)
+					continue // next candidate replica
+				}
+				h.drainFrags(p, ops[:i])
+				if reg != nil {
+					d.release(p, reg)
+				}
+				return nil, mapDafsErr(err)
+			}
+			ops[i] = fragOp{op: &dafsOp{io: io, drv: d.DAFSDriver}, c: c, t: t}
+			break
+		}
+	}
+	return &stripedReadOp{h: h, frags: frags, ops: ops, buf: buf, reg: reg}, nil
 }
 
-// StartWrite implements Handle.
+// StartWrite implements Handle: each fragment is issued to every usable
+// replica (write-all), all replicas of all fragments in flight at once.
 func (h *stripedHandle) StartWrite(p *sim.Proc, off int64, buf []byte) (AsyncOp, error) {
 	if err := h.check(off, true); err != nil {
 		return nil, err
@@ -282,41 +554,241 @@ func (h *stripedHandle) StartWrite(p *sim.Proc, off int64, buf []byte) (AsyncOp,
 	if len(buf) == 0 {
 		return doneOp{}, nil
 	}
-	_, ops, reg, err := h.startFrags(p, off, buf, true)
-	if err != nil {
-		return nil, err
+	d := h.drv
+	st := d.striping
+	frags := st.Map(off, int64(len(buf)))
+	var reg *via.Region
+	if h.needReg(frags) {
+		reg = d.region(p, buf)
 	}
-	if reg != nil {
-		// As in startList: the registration is released once, after the
-		// last fragment completes; multiOp drains every op regardless.
-		last := len(ops) - 1
-		ops[last] = &dafsOp{io: ops[last].(*dafsOp).io, drv: h.drv.DAFSDriver, reg: reg}
+	ops := make([][]fragOp, len(frags))
+	for i, f := range frags {
+		ops[i] = make([]fragOp, st.R())
+		for r := 0; r < st.R(); r++ {
+			t := st.ReplicaServer(f.Server, r)
+			ops[i][r].t = t
+			if !h.usable(t, r, false) {
+				continue // deferred: Wait's retry path covers the fragment
+			}
+			c := d.clients[t]
+			io, err := h.issueFrag(p, c, h.fhs[t][r], f, buf, reg, true)
+			if err != nil {
+				if isSessionErr(err) {
+					d.noteFailure(p, t, c)
+					continue
+				}
+				for _, row := range ops[:i+1] {
+					h.drainFrags(p, row)
+				}
+				if reg != nil {
+					d.release(p, reg)
+				}
+				return nil, mapDafsErr(err)
+			}
+			ops[i][r] = fragOp{op: &dafsOp{io: io, drv: d.DAFSDriver}, c: c, t: t}
+		}
 	}
-	return ops, nil
+	return &stripedWriteOp{h: h, frags: frags, ops: ops, buf: buf, reg: reg}, nil
+}
+
+// drainFrags waits out already-launched fragment ops after an issue
+// failure — their completions recycle session credits.
+func (h *stripedHandle) drainFrags(p *sim.Proc, ops []fragOp) {
+	for _, fo := range ops {
+		if fo.op != nil {
+			fo.op.Wait(p)
+		}
+	}
+}
+
+// retryWrite re-drives one fragment through the failover path until some
+// replica acks it: wait for a session recovery, issue to every usable
+// replica, and repeat on further failures. It returns the servers that
+// missed the fragment (to be excluded from read-any), or the terminal
+// error when every replica is gone.
+func (h *stripedHandle) retryWrite(p *sim.Proc, f layout.Fragment, buf []byte, reg *via.Region, lastErr error) ([]int, error) {
+	d := h.drv
+	st := d.striping
+	for {
+		if !h.waitRecovery(p, f.Server, false) {
+			return nil, allDown(lastErr)
+		}
+		acked := false
+		missed := make([]int, 0, st.R())
+		for r := 0; r < st.R(); r++ {
+			t := st.ReplicaServer(f.Server, r)
+			if !h.usable(t, r, false) {
+				missed = append(missed, t)
+				continue
+			}
+			c := d.clients[t]
+			io, err := h.issueFrag(p, c, h.fhs[t][r], f, buf, reg, true)
+			if err == nil {
+				op := &dafsOp{io: io, drv: d.DAFSDriver}
+				_, err = op.Wait(p)
+			}
+			switch {
+			case err == nil:
+				acked = true
+			case isSessionErr(err):
+				d.noteFailure(p, t, c)
+				lastErr = err
+				missed = append(missed, t)
+			default:
+				return nil, mapDafsErr(err)
+			}
+		}
+		if acked {
+			return missed, nil
+		}
+	}
+}
+
+// retryRead re-drives one fragment through read-any failover until some
+// replica serves it.
+func (h *stripedHandle) retryRead(p *sim.Proc, f layout.Fragment, buf []byte, reg *via.Region, lastErr error) (int, error) {
+	d := h.drv
+	for {
+		if !h.waitRecovery(p, f.Server, true) {
+			return 0, allDown(lastErr)
+		}
+		t, r, ok := h.pickRead(f)
+		if !ok {
+			continue
+		}
+		c := d.clients[t]
+		io, err := h.issueFrag(p, c, h.fhs[t][r], f, buf, reg, false)
+		if err == nil {
+			op := &dafsOp{io: io, drv: d.DAFSDriver}
+			var n int
+			n, err = op.Wait(p)
+			if err == nil {
+				return n, nil
+			}
+		}
+		if isSessionErr(err) {
+			d.noteFailure(p, t, c)
+			lastErr = err
+			continue
+		}
+		return 0, mapDafsErr(err)
+	}
+}
+
+// stripedWriteOp aggregates a write's per-fragment, per-replica
+// completions. A fragment counts once it is acked by at least one replica;
+// replicas that missed it are excluded from read-any. Fragments whose
+// every issued replica fails go through the synchronous failover path.
+type stripedWriteOp struct {
+	h     *stripedHandle
+	frags []layout.Fragment
+	ops   [][]fragOp
+	buf   []byte
+	reg   *via.Region
+}
+
+// Wait implements AsyncOp.
+func (o *stripedWriteOp) Wait(p *sim.Proc) (int, error) {
+	h := o.h
+	d := h.drv
+	total := 0
+	var firstErr error
+	for i, f := range o.frags {
+		acked := false
+		var sessErr error
+		missed := make([]int, 0, len(o.ops[i]))
+		for r := range o.ops[i] {
+			fo := o.ops[i][r]
+			if fo.op == nil {
+				missed = append(missed, fo.t)
+				continue
+			}
+			_, err := fo.op.Wait(p)
+			switch {
+			case err == nil:
+				acked = true
+			case isSessionErr(err):
+				d.noteFailure(p, fo.t, fo.c)
+				sessErr = err
+				missed = append(missed, fo.t)
+			default:
+				if firstErr == nil {
+					firstErr = err
+				}
+			}
+		}
+		if firstErr != nil {
+			continue // hard failure: keep draining the remaining fragments
+		}
+		if !acked {
+			m, err := h.retryWrite(p, f, o.buf, o.reg, sessErr)
+			if err != nil {
+				firstErr = err
+				continue
+			}
+			missed = m
+		}
+		total += int(f.Len)
+		for _, t := range missed {
+			d.excluded[t] = true
+		}
+	}
+	if o.reg != nil {
+		d.release(p, o.reg)
+	}
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	return total, nil
 }
 
 // stripedReadOp aggregates per-fragment reads with contiguous-prefix
-// short-read semantics (a plain multiOp would over-count past EOF holes).
+// short-read semantics (a plain sum would over-count past EOF holes);
+// fragments whose replica fails — or that had no usable replica at issue
+// time — go through the read-any failover path.
 type stripedReadOp struct {
+	h     *stripedHandle
 	frags []layout.Fragment
-	ops   multiOp
-	drv   *DAFSDriver
+	ops   []fragOp
+	buf   []byte
 	reg   *via.Region
 }
 
 // Wait implements AsyncOp.
 func (o *stripedReadOp) Wait(p *sim.Proc) (int, error) {
-	counts := make([]int, len(o.ops))
+	h := o.h
+	d := h.drv
+	counts := make([]int, len(o.frags))
 	var firstErr error
-	for i, op := range o.ops {
-		n, err := op.Wait(p)
-		counts[i] = n
-		if firstErr == nil {
-			firstErr = err
+	for i, f := range o.frags {
+		fo := o.ops[i]
+		retry := fo.op == nil
+		if fo.op != nil {
+			n, err := fo.op.Wait(p)
+			switch {
+			case err == nil:
+				counts[i] = n
+			case isSessionErr(err):
+				d.noteFailure(p, fo.t, fo.c)
+				retry = true
+			default:
+				if firstErr == nil {
+					firstErr = err
+				}
+			}
 		}
+		if !retry || firstErr != nil {
+			continue
+		}
+		n, err := h.retryRead(p, f, o.buf, o.reg, nil)
+		if err != nil {
+			firstErr = err
+			continue
+		}
+		counts[i] = n
 	}
 	if o.reg != nil {
-		o.drv.release(p, o.reg)
+		d.release(p, o.reg)
 	}
 	if firstErr != nil {
 		return 0, firstErr
@@ -344,35 +816,60 @@ func (h *stripedHandle) WriteContig(p *sim.Proc, off int64, buf []byte) (int, er
 
 // Size implements Handle: the logical size is recovered from the
 // per-server stripe-object sizes through the layout's inverse mapping.
-// The Getattrs are issued concurrently across the session pool.
+// Each primary's size is read from its read-any replica; the Getattrs are
+// issued concurrently across the session pool, with session failures
+// retried synchronously on the next replica.
 func (h *stripedHandle) Size(p *sim.Proc) (int64, error) {
 	if h.closed {
 		return 0, ErrClosed
 	}
-	ops := make([]*dafs.AttrOp, len(h.fhs))
+	d := h.drv
+	st := d.striping
+	W := st.Width
+	type ga struct {
+		op *dafs.AttrOp
+		c  *dafs.Client
+		t  int
+	}
+	ops := make([]ga, W)
 	var startErr error
-	for i, c := range h.drv.clients {
-		op, err := c.StartGetattr(p, h.fhs[i])
+	for s := 0; s < W; s++ {
+		t, r, ok := h.pickRead(layout.Fragment{Server: s})
+		if !ok {
+			continue // retried synchronously below
+		}
+		c := d.clients[t]
+		op, err := c.StartGetattr(p, h.fhs[t][r])
 		if err != nil {
+			if isSessionErr(err) {
+				d.noteFailure(p, t, c)
+				continue
+			}
 			startErr = err
 			break
 		}
-		ops[i] = op
+		ops[s] = ga{op: op, c: c, t: t}
 	}
-	sizes := make([]int64, len(h.fhs))
+	sizes := make([]int64, W)
+	var retry []int
 	var opErr error
-	for i, op := range ops {
-		if op == nil {
+	for s := 0; s < W; s++ {
+		if ops[s].op == nil {
+			retry = append(retry, s)
 			continue
 		}
-		attr, err := op.Wait(p)
-		if err != nil {
+		attr, err := ops[s].op.Wait(p)
+		switch {
+		case err == nil:
+			sizes[s] = attr.Size
+		case isSessionErr(err):
+			d.noteFailure(p, ops[s].t, ops[s].c)
+			retry = append(retry, s)
+		default:
 			if opErr == nil {
 				opErr = err
 			}
-			continue
 		}
-		sizes[i] = attr.Size
 	}
 	if startErr != nil {
 		return 0, mapDafsErr(startErr)
@@ -380,11 +877,49 @@ func (h *stripedHandle) Size(p *sim.Proc) (int64, error) {
 	if opErr != nil {
 		return 0, mapDafsErr(opErr)
 	}
-	return h.drv.striping.LogicalSize(sizes), nil
+	for _, s := range retry {
+		z, err := h.retryGetattr(p, s)
+		if err != nil {
+			return 0, err
+		}
+		sizes[s] = z
+	}
+	return st.LogicalSize(sizes), nil
 }
 
-// Resize implements Handle: each server's object is set to its share of
-// the logical size, all Setattrs in flight at once.
+// retryGetattr re-drives one primary's size query through read-any
+// failover.
+func (h *stripedHandle) retryGetattr(p *sim.Proc, s int) (int64, error) {
+	d := h.drv
+	var lastErr error
+	for {
+		if !h.waitRecovery(p, s, true) {
+			return 0, allDown(lastErr)
+		}
+		t, r, ok := h.pickRead(layout.Fragment{Server: s})
+		if !ok {
+			continue
+		}
+		c := d.clients[t]
+		op, err := c.StartGetattr(p, h.fhs[t][r])
+		if err == nil {
+			var attr dafs.Attr
+			attr, err = op.Wait(p)
+			if err == nil {
+				return attr.Size, nil
+			}
+		}
+		if isSessionErr(err) {
+			d.noteFailure(p, t, c)
+			lastErr = err
+			continue
+		}
+		return 0, mapDafsErr(err)
+	}
+}
+
+// Resize implements Handle: each rank object is set to its primary's share
+// of the logical size (write-all), all Setattrs in flight at once.
 func (h *stripedHandle) Resize(p *sim.Proc, n int64) error {
 	if h.closed {
 		return ErrClosed
@@ -392,48 +927,84 @@ func (h *stripedHandle) Resize(p *sim.Proc, n int64) error {
 	if n < 0 {
 		return ErrNegative
 	}
-	ops := make([]*dafs.Ack, len(h.fhs))
-	var startErr error
-	for i, z := range h.drv.striping.ObjectSizes(n) {
-		op, err := h.drv.clients[i].StartSetattr(p, h.fhs[i], z)
-		if err != nil {
-			startErr = err
-			break
-		}
-		ops[i] = op
-	}
-	return h.waitAcks(p, ops, startErr)
+	sizes := h.drv.striping.ObjectSizes(n)
+	W := h.drv.striping.Width
+	return h.ackWave(p, func(c *dafs.Client, t, r int) (*dafs.Ack, error) {
+		return c.StartSetattr(p, h.fhs[t][r], sizes[(t-r+W)%W])
+	})
 }
 
-// Sync implements Handle: every server's Fsync is in flight at once.
+// Sync implements Handle: every rank object's Fsync is in flight at once.
 func (h *stripedHandle) Sync(p *sim.Proc) error {
 	if h.closed {
 		return ErrClosed
 	}
-	ops := make([]*dafs.Ack, len(h.fhs))
-	var startErr error
-	for i, c := range h.drv.clients {
-		op, err := c.StartFsync(p, h.fhs[i])
-		if err != nil {
-			startErr = err
-			break
-		}
-		ops[i] = op
-	}
-	return h.waitAcks(p, ops, startErr)
+	return h.ackWave(p, func(c *dafs.Client, t, r int) (*dafs.Ack, error) {
+		return c.StartFsync(p, h.fhs[t][r])
+	})
 }
 
-// waitAcks drains a wave of acknowledgement-only operations. Every
-// launched op is waited on even after a failure — the completions recycle
-// session credits — and the first error wins, issue failures first.
-func (h *stripedHandle) waitAcks(p *sim.Proc, ops []*dafs.Ack, startErr error) error {
-	var opErr error
-	for _, op := range ops {
-		if op == nil {
-			continue
+// ackWave runs one acknowledgement-only operation on every rank object of
+// every usable server (write-all), all in flight at once. Every launched
+// op is waited on even after a failure — the completions recycle session
+// credits — and the first hard error wins, issue failures first. Session
+// failures on one replica are tolerated while every primary keeps at
+// least one acked rank; servers that missed the wave are excluded from
+// read-any (their metadata is stale).
+func (h *stripedHandle) ackWave(p *sim.Proc, start func(c *dafs.Client, t, r int) (*dafs.Ack, error)) error {
+	d := h.drv
+	st := d.striping
+	W, R := st.Width, st.R()
+	type wop struct {
+		op *dafs.Ack
+		c  *dafs.Client
+	}
+	ops := make([][]wop, W)
+	var startErr, lastSess error
+issue:
+	for t := 0; t < W; t++ {
+		ops[t] = make([]wop, R)
+		for r := 0; r < R; r++ {
+			if d.down[t] || h.fhs[t][r] == 0 {
+				continue
+			}
+			c := d.clients[t]
+			op, err := start(c, t, r)
+			if err != nil {
+				if isSessionErr(err) {
+					d.noteFailure(p, t, c)
+					lastSess = err
+					continue issue
+				}
+				startErr = err
+				break issue
+			}
+			ops[t][r] = wop{op, c}
 		}
-		if err := op.Wait(p); err != nil && opErr == nil {
-			opErr = err
+	}
+	acked := make([]bool, W)
+	missed := make([]bool, W)
+	var opErr error
+	for t := 0; t < W; t++ {
+		for r := range ops[t] {
+			w := ops[t][r]
+			if w.op == nil {
+				missed[t] = true
+				continue
+			}
+			err := w.op.Wait(p)
+			switch {
+			case err == nil:
+				acked[(t-r+W)%W] = true
+			case isSessionErr(err):
+				d.noteFailure(p, t, w.c)
+				lastSess = err
+				missed[t] = true
+			default:
+				if opErr == nil {
+					opErr = err
+				}
+			}
 		}
 	}
 	if startErr != nil {
@@ -441,6 +1012,16 @@ func (h *stripedHandle) waitAcks(p *sim.Proc, ops []*dafs.Ack, startErr error) e
 	}
 	if opErr != nil {
 		return mapDafsErr(opErr)
+	}
+	for s := 0; s < W; s++ {
+		if !acked[s] {
+			return allDown(lastSess)
+		}
+	}
+	for t := 0; t < W; t++ {
+		if missed[t] {
+			d.excluded[t] = true
+		}
 	}
 	return nil
 }

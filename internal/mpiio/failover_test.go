@@ -1,0 +1,169 @@
+package mpiio
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"dafsio/internal/cluster"
+	"dafsio/internal/dafs"
+	"dafsio/internal/layout"
+	"dafsio/internal/sim"
+)
+
+// failoverRig builds an N-server cluster and opens a replicated striped
+// file from client 0 with a call deadline and redial policy set — the
+// configuration failover needs (without a deadline, a call to a crashed
+// server would hang forever).
+func failoverRig(t *testing.T, servers, replicas int, retry dafs.RetryPolicy,
+	fn func(p *sim.Proc, f *File, drv *StripedDAFSDriver, c *cluster.Cluster)) {
+	t.Helper()
+	const stripe = 4 << 10
+	c := cluster.New(cluster.Config{Clients: 1, Servers: servers, DAFS: true})
+	c.K.Spawn("app", func(p *sim.Proc) {
+		pool, err := c.DialDAFSAll(p, 0, &dafs.Options{CallTimeout: 5 * sim.Millisecond})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		drv := NewStripedDAFSDriver(pool, layout.Striping{StripeSize: stripe, Width: servers, Replicas: replicas})
+		drv.Retry = retry
+		f, err := Open(p, nil, drv, "s", ModeRdWr|ModeCreate, nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		fn(p, f, drv, c)
+		f.Close(p)
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// crashServer fail-stops server s the way the cluster's fault wiring does:
+// NIC dead, server crashed (so redials are rejected instead of hanging).
+func crashServer(c *cluster.Cluster, s int) {
+	c.DAFSSrvs[s].NIC().Kill()
+	c.DAFSSrvs[s].Crash()
+}
+
+// TestReplicatedWriteAllPlacement: a healthy replicated write puts every
+// rank's bytes where the rotation says — the rank-r object on server
+// (s+r)%W is a byte-identical mirror of server s's primary object.
+func TestReplicatedWriteAllPlacement(t *testing.T) {
+	const servers, replicas = 3, 2
+	data := pattern(10*(4<<10) + 513)
+	failoverRig(t, servers, replicas, dafs.RetryPolicy{}, func(p *sim.Proc, f *File, drv *StripedDAFSDriver, c *cluster.Cluster) {
+		if n, err := f.WriteAt(p, 0, data); err != nil || n != len(data) {
+			t.Fatalf("WriteAt = %d, %v", n, err)
+		}
+		for s := 0; s < servers; s++ {
+			primary, err := c.Stores[s].Lookup("s")
+			if err != nil {
+				t.Fatalf("server %d primary object: %v", s, err)
+			}
+			for r := 1; r < replicas; r++ {
+				tgt := (s + r) % servers
+				mirror, err := c.Stores[tgt].Lookup(layout.ReplicaName("s", r))
+				if err != nil {
+					t.Fatalf("rank %d of server %d (on %d): %v", r, s, tgt, err)
+				}
+				if mirror.Size() != primary.Size() {
+					t.Fatalf("rank %d of server %d: size %d != primary %d", r, s, mirror.Size(), primary.Size())
+				}
+				a := make([]byte, primary.Size())
+				b := make([]byte, mirror.Size())
+				primary.ReadAt(a, 0)
+				mirror.ReadAt(b, 0)
+				if !bytes.Equal(a, b) {
+					t.Fatalf("rank %d of server %d is not a byte-identical mirror", r, s)
+				}
+			}
+		}
+	})
+}
+
+// TestFailoverWriteCompletesOnReplica: with replication 2, a server crash
+// between writes costs one call deadline and some futile redials, then the
+// stream completes on the survivors and every byte reads back.
+func TestFailoverWriteCompletesOnReplica(t *testing.T) {
+	const servers, replicas = 3, 2
+	retry := dafs.RetryPolicy{Base: 100 * sim.Microsecond, Max: 400 * sim.Microsecond, Attempts: 2}
+	data := pattern(24 << 10) // six 4KB stripes: two per server
+	half := len(data) / 2
+	failoverRig(t, servers, replicas, retry, func(p *sim.Proc, f *File, drv *StripedDAFSDriver, c *cluster.Cluster) {
+		if _, err := f.WriteAt(p, 0, data[:half]); err != nil {
+			t.Fatalf("pre-crash write: %v", err)
+		}
+		crashServer(c, 1)
+		if _, err := f.WriteAt(p, int64(half), data[half:]); err != nil {
+			t.Fatalf("post-crash write: %v", err)
+		}
+		got := make([]byte, len(data))
+		if n, err := f.ReadAt(p, 0, got); err != nil || n != len(data) {
+			t.Fatalf("read-back = %d, %v", n, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("read-back mismatch after failover")
+		}
+		// The redial episode runs in a background proc with backoff; give
+		// it simulated time to exhaust its attempts before checking.
+		p.Wait(10 * sim.Millisecond)
+		if drv.Retries != int64(retry.Attempts) {
+			t.Errorf("redials = %d, want the policy's %d futile attempts", drv.Retries, retry.Attempts)
+		}
+	})
+}
+
+// TestReadAnyFailsOverToReplica: bytes written while every server was
+// healthy stay readable after a crash — the read path times out on the
+// dead primary once, then serves its fragments from a replica.
+func TestReadAnyFailsOverToReplica(t *testing.T) {
+	const servers, replicas = 3, 2
+	retry := dafs.RetryPolicy{Base: 100 * sim.Microsecond, Attempts: 1}
+	data := pattern(24 << 10)
+	failoverRig(t, servers, replicas, retry, func(p *sim.Proc, f *File, drv *StripedDAFSDriver, c *cluster.Cluster) {
+		if _, err := f.WriteAt(p, 0, data); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		crashServer(c, 2)
+		got := make([]byte, len(data))
+		if n, err := f.ReadAt(p, 0, got); err != nil || n != len(data) {
+			t.Fatalf("read after crash = %d, %v", n, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("read-back mismatch from replicas")
+		}
+	})
+}
+
+// TestUnreplicatedCrashFailsFast: with replication 1 the crashed server's
+// stripes have no other copy — an extent touching it must fail with
+// ErrAllReplicasDown (after recovery is exhausted), while extents on the
+// survivors keep working.
+func TestUnreplicatedCrashFailsFast(t *testing.T) {
+	const servers, replicas = 3, 1
+	const stripe = 4 << 10
+	failoverRig(t, servers, replicas, dafs.RetryPolicy{}, func(p *sim.Proc, f *File, drv *StripedDAFSDriver, c *cluster.Cluster) {
+		if _, err := f.WriteAt(p, 0, pattern(3*stripe)); err != nil {
+			t.Fatalf("healthy write: %v", err)
+		}
+		crashServer(c, 1)
+		// Stripe 1 lives only on the dead server.
+		if _, err := f.WriteAt(p, stripe, pattern(stripe)); !errors.Is(err, dafs.ErrAllReplicasDown) {
+			t.Fatalf("write to dead server: err=%v, want ErrAllReplicasDown", err)
+		}
+		if _, err := f.ReadAt(p, stripe, make([]byte, stripe)); !errors.Is(err, dafs.ErrAllReplicasDown) {
+			t.Fatalf("read from dead server: err=%v, want ErrAllReplicasDown", err)
+		}
+		// Stripe 0 (server 0) and stripe 2 (server 2) still work.
+		if _, err := f.WriteAt(p, 0, pattern(stripe)); err != nil {
+			t.Fatalf("write to survivor: %v", err)
+		}
+		buf := make([]byte, stripe)
+		if _, err := f.ReadAt(p, 2*stripe, buf); err != nil {
+			t.Fatalf("read from survivor: %v", err)
+		}
+	})
+}

@@ -192,6 +192,7 @@ type Disk struct {
 	seek    sim.Time
 	bw      float64
 	nextOff int64
+	slow    float64 // service-time multiplier (fault injection; 0 means 1)
 }
 
 // NewDisk creates a disk.
@@ -199,12 +200,30 @@ func NewDisk(k *sim.Kernel, name string, seek sim.Time, bytesPerSec float64) *Di
 	return &Disk{arm: sim.NewResource(k, name, 1), seek: seek, bw: bytesPerSec, nextOff: -1}
 }
 
+// SetSlowdown multiplies subsequent service times by f (>= 1); f <= 1
+// restores full speed. Fault injection uses this to model a degraded
+// spindle for a scheduled window.
+func (d *Disk) SetSlowdown(f float64) {
+	if f < 1 {
+		f = 1
+	}
+	d.slow = f
+}
+
+// scaled applies the current slowdown to a service time.
+func (d *Disk) scaled(t sim.Time) sim.Time {
+	if d.slow > 1 {
+		return sim.Time(float64(t) * d.slow)
+	}
+	return t
+}
+
 // Access occupies the disk for one positioning plus an n-byte transfer
 // (always seeks: position unknown).
 func (d *Disk) Access(p *sim.Proc, n int) {
 	d.arm.Acquire(p, 1)
 	d.nextOff = -1
-	p.Wait(d.seek + sim.TransferTime(int64(n), d.bw))
+	p.Wait(d.scaled(d.seek + sim.TransferTime(int64(n), d.bw)))
 	d.arm.Release(1)
 }
 
@@ -218,7 +237,7 @@ func (d *Disk) AccessAt(p *sim.Proc, off int64, n int) {
 		t += d.seek
 	}
 	d.nextOff = off + int64(n)
-	p.Wait(t)
+	p.Wait(d.scaled(t))
 	d.arm.Release(1)
 }
 

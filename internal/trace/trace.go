@@ -74,6 +74,7 @@ const (
 	CatServerCPU                 // server-side marshal, op exec, copies
 	CatDisk                      // disk arm + media transfer
 	CatQueue                     // credit, work-queue, and link arbitration waits
+	CatRetry                     // failover backoff + recovery waits
 	NumCategories
 )
 
@@ -94,6 +95,8 @@ func (c Category) String() string {
 		return "disk"
 	case CatQueue:
 		return "queue-wait"
+	case CatRetry:
+		return "retry"
 	default:
 		return "cat?"
 	}

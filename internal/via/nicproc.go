@@ -49,6 +49,7 @@ type cell struct {
 	n     int
 	total int
 	last  bool
+	dup   bool // injected duplicate: occupies the wire, receiver discards
 	data  []byte
 
 	// RDMA addressing.
@@ -203,25 +204,57 @@ func (n *NIC) streamOut(p *sim.Proc, d *Descriptor, kind cellKind, dst fabric.No
 
 // txLoop serializes cells onto the node's transmit link.
 func (n *NIC) txLoop(p *sim.Proc) {
-	prof := n.prov.Prof
 	tr := n.prov.Tracer
 	for {
 		c, ok := n.txQ.Recv(p)
 		if !ok {
 			return
 		}
-		if tr == nil {
-			n.Node.Send(p, fabric.Frame{Dst: c.dst, Bytes: c.n + prof.CellHeader, Payload: c})
+		if n.dead {
 			continue
 		}
-		ser := sim.TransferTime(int64(c.n+prof.CellHeader), prof.LinkBandwidth)
-		t0 := p.Now()
-		n.Node.Send(p, fabric.Frame{Dst: c.dst, Bytes: c.n + prof.CellHeader, Payload: c})
-		// Serialization is wire time; the excess is waiting for the
-		// shared transmit link (other VIs, the kernel stack).
-		tr.Charge(c.span, trace.CatWire, ser)
-		tr.Charge(c.span, trace.CatQueue, p.Now()-t0-ser)
+		// Fault hooks: only data-bearing kinds are eligible. Acks are never
+		// stalled, dropped, or duplicated — ack loss would strand the
+		// sender's buffer-pool slot outside the session timeout's coverage,
+		// and the model wants loss surfaced at message grain, as a
+		// reliability-level connection break.
+		if fi := n.prov.Faults; fi != nil && c.kind != ckAck {
+			if until := fi.StallUntil(n.Node.Name, p.Now()); until > p.Now() {
+				p.Wait(until - p.Now())
+			}
+			drop, dup := fi.TxVerdict(n.Node.Name, p.Now())
+			if drop {
+				if tr != nil && (c.last || c.kind == ckReadReq) {
+					// The receiver would have ended the message's wire span
+					// on this cell; close it here so the trace stays sound.
+					tr.End(c.wire)
+				}
+				continue
+			}
+			if dup {
+				n.txCell(p, c)
+				c.dup = true
+			}
+		}
+		n.txCell(p, c)
 	}
+}
+
+// txCell puts one cell on the node's transmit link.
+func (n *NIC) txCell(p *sim.Proc, c cell) {
+	prof := n.prov.Prof
+	tr := n.prov.Tracer
+	if tr == nil {
+		n.Node.Send(p, fabric.Frame{Dst: c.dst, Bytes: c.n + prof.CellHeader, Payload: c})
+		return
+	}
+	ser := sim.TransferTime(int64(c.n+prof.CellHeader), prof.LinkBandwidth)
+	t0 := p.Now()
+	n.Node.Send(p, fabric.Frame{Dst: c.dst, Bytes: c.n + prof.CellHeader, Payload: c})
+	// Serialization is wire time; the excess is waiting for the
+	// shared transmit link (other VIs, the kernel stack).
+	tr.Charge(c.span, trace.CatWire, ser)
+	tr.Charge(c.span, trace.CatQueue, p.Now()-t0-ser)
 }
 
 // recvLoop drains the NIC's receive queue and dispatches cells.
@@ -233,6 +266,12 @@ func (n *NIC) recvLoop(p *sim.Proc) {
 		}
 		c := fr.Payload.(cell)
 		c.src = fr.Src
+		if n.dead || c.dup {
+			// Dead NICs hear nothing; injected duplicates have already paid
+			// their wire occupancy and the reliable layer discards them
+			// before any processing (or trace attribution).
+			continue
+		}
 		if tr := n.prov.Tracer; tr != nil {
 			if c.off == 0 {
 				// Propagation delay, once per message at its head.
@@ -316,6 +355,12 @@ func (n *NIC) handleSend(p *sim.Proc, c cell) {
 		return
 	}
 	delete(n.reasm, key)
+	if st.got < c.total {
+		// An injected drop lost part of the message. Deliver nothing and
+		// send no ack: the sender's session surfaces the loss as a timeout,
+		// the model's reliability-level connection break.
+		return
+	}
 	tr := n.prov.Tracer
 	if st.desc != nil {
 		p.Wait(n.prov.Prof.CompletionCost)
@@ -346,10 +391,14 @@ func (n *NIC) handleRDMAWrite(p *sim.Proc, c cell) {
 		n.stats.CellsIn++
 		n.stats.BytesIn += int64(c.n)
 	}
+	st.got += c.n
 	if !c.last {
 		return
 	}
 	delete(n.reasm, key)
+	if st.got < c.total {
+		return // lost message (see handleSend): no ack, sender times out
+	}
 	n.txQ.Send(p, cell{
 		kind: ckAck, dst: c.src, msgID: c.msgID, errCode: codeOf(st.err),
 		span: c.span, wire: n.prov.Tracer.Begin(n.Node.Name, trace.LayerWire, "ack", c.span),
@@ -405,10 +454,16 @@ func (n *NIC) handleReadResp(p *sim.Proc, c cell) {
 		n.stats.CellsIn++
 		n.stats.BytesIn += int64(c.n)
 	}
+	n.respGot[c.token] += c.n
 	if !c.last {
 		return
 	}
 	delete(n.pendReads, c.token)
+	got := n.respGot[c.token]
+	delete(n.respGot, c.token)
+	if got < c.total {
+		return // lost response (see handleSend): no completion, caller times out
+	}
 	p.Wait(n.prov.Prof.CompletionCost)
 	n.prov.Tracer.Charge(d.span, trace.CatNIC, n.prov.Prof.CompletionCost)
 	d.vi.SendCQ.deliver(p, Completion{VI: d.vi, Desc: d, Op: OpRDMARead, Len: d.Len, Err: nil})

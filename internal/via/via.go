@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"dafsio/internal/fabric"
+	"dafsio/internal/fault"
 	"dafsio/internal/model"
 	"dafsio/internal/sim"
 	"dafsio/internal/trace"
@@ -79,6 +80,12 @@ type Provider struct {
 	// identical with it on or off.
 	Tracer *trace.Tracer
 
+	// Faults, when set before traffic starts, injects the plan's wire
+	// faults: every NIC consults it on the cell transmit path for stall
+	// windows and drop/duplicate verdicts. Nil means a fault-free fabric
+	// with bit-identical behaviour to builds without the hook.
+	Faults *fault.Injector
+
 	nics map[fabric.NodeID]*NIC
 }
 
@@ -121,7 +128,10 @@ type NIC struct {
 	readSeq   uint64
 	pendSends map[uint64]*Descriptor // msgID -> awaiting delivery ack
 	pendReads map[uint64]*Descriptor // token -> awaiting RDMA read data
+	respGot   map[uint64]int         // token -> RDMA read bytes received
 	reasm     map[reasmKey]*reasmState
+
+	dead bool // fail-stopped: transmits and receives nothing
 
 	stats Stats
 }
@@ -156,6 +166,7 @@ func (pr *Provider) NewNIC(node *fabric.Node) *NIC {
 		regions:   make(map[MemHandle]*Region),
 		pendSends: make(map[uint64]*Descriptor),
 		pendReads: make(map[uint64]*Descriptor),
+		respGot:   make(map[uint64]int),
 		reasm:     make(map[reasmKey]*reasmState),
 	}
 	pr.nics[node.ID] = n
@@ -173,3 +184,12 @@ func (n *NIC) Stats() Stats { return n.stats }
 
 // Provider returns the owning provider.
 func (n *NIC) Provider() *Provider { return n.prov }
+
+// Kill fail-stops the NIC: from now on it silently discards everything it
+// would transmit or receive, so peers see total silence — in-flight
+// messages lose their acks and outstanding calls surface as timeouts.
+// Dead NICs never revive (fail-stop model).
+func (n *NIC) Kill() { n.dead = true }
+
+// Dead reports whether the NIC has been killed.
+func (n *NIC) Dead() bool { return n.dead }
