@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint fmt faults all
+.PHONY: build test race lint fmt faults t17 all
 
 all: build test race lint faults
 
@@ -29,8 +29,16 @@ lint:
 faults:
 	$(GO) test -race ./internal/fault/ ./internal/layout/
 	$(GO) test -race -run 'TestClose|TestCallTimeout|TestRedial|TestRetryPolicy|TestSession' ./internal/dafs/
-	$(GO) test -race -run 'TestReplicated|TestFailover|TestReadAny|TestUnreplicated' ./internal/mpiio/
+	$(GO) test -race -run 'TestReplicated|TestFailover|TestReadAny|TestUnreplicated|TestStripedBatch|TestStripedWriteSurvives' ./internal/mpiio/
 	$(GO) test -race -run 'TestT16' ./internal/bench/
+
+# t17 runs the stripe-aware aggregation suite: the planner's property
+# tests (permutation, domain tiling), the striped batch path, and the T17
+# trace assertions (each aggregator touches exactly one server).
+t17:
+	$(GO) test ./internal/aggregate/
+	$(GO) test -run 'TestStriped.*Batch|TestStripedWidth1' ./internal/mpiio/
+	$(GO) test -run 'TestT17' ./internal/bench/
 
 fmt:
 	gofmt -s -w .

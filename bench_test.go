@@ -43,3 +43,4 @@ func BenchmarkT13GbEProfile(b *testing.B)     { runExperiment(b, "T13") }
 func BenchmarkT14DiskBound(b *testing.B)      { runExperiment(b, "T14") }
 func BenchmarkT15StripedScaling(b *testing.B) { runExperiment(b, "T15") }
 func BenchmarkT16Failover(b *testing.B)       { runExperiment(b, "T16") }
+func BenchmarkT17StripedColl(b *testing.B)    { runExperiment(b, "T17") }

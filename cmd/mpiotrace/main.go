@@ -12,6 +12,8 @@
 //	mpiotrace -run T15 -clients 4 -servers 4 # a bigger striped point
 //	mpiotrace -run T1                        # VIA-only streaming microbench
 //	mpiotrace -run T6                        # two-phase collective write
+//	mpiotrace -run T16                       # replicated failover under a crash
+//	mpiotrace -run T17 -servers 4            # stripe-aligned collective, width 4
 //	mpiotrace -trace out.json                # also write the Chrome trace
 //	mpiotrace -hist                          # also print latency histograms
 package main
@@ -26,9 +28,9 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "T15", "experiment to trace: T1, T6 or T15")
+	run := flag.String("run", "T15", "experiment to trace: T1, T6, T15, T16 or T17")
 	clients := flag.Int("clients", 2, "client count (T15 only)")
-	servers := flag.Int("servers", 2, "server count (T15 only)")
+	servers := flag.Int("servers", 2, "server count (T15); stripe width (T17)")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file here")
 	breakdown := flag.Bool("breakdown", true, "print the per-layer time-breakdown table")
 	hist := flag.Bool("hist", false, "print per-(layer, op) latency histograms")
@@ -46,8 +48,16 @@ func main() {
 			os.Exit(1)
 		}
 		r = bench.TracedT15(*clients, *servers)
+	case "T16":
+		r = bench.TracedT16()
+	case "T17":
+		if *servers < 1 {
+			fmt.Fprintln(os.Stderr, "mpiotrace: -servers must be >= 1")
+			os.Exit(1)
+		}
+		r = bench.TracedT17(*servers)
 	default:
-		fmt.Fprintf(os.Stderr, "mpiotrace: unknown experiment %q (traceable: T1, T6, T15)\n", *run)
+		fmt.Fprintf(os.Stderr, "mpiotrace: unknown experiment %q (traceable: T1, T6, T15, T16, T17)\n", *run)
 		os.Exit(1)
 	}
 

@@ -49,3 +49,41 @@ func goodParam(p *sim.Proc, vi *via.VI, r *via.Region) error {
 	d := &via.Descriptor{Op: via.OpRDMAWrite, Region: r, Len: r.Len()}
 	return vi.PostSend(p, d)
 }
+
+// Aggregate-shaped staging: a per-server gather plan packs noncontiguous
+// fragments into one staging buffer and posts it for RDMA in a batch
+// request. The staging buffer — pooled or freshly allocated — must carry
+// the region it was registered under.
+
+type stage struct {
+	buf []byte
+	reg *via.Region
+}
+
+func gatherStageUnregistered(p *sim.Proc, vi *via.VI, frags [][]byte) {
+	staging := make([]byte, 1<<20)
+	off := 0
+	for _, f := range frags {
+		off += copy(staging[off:], f)
+	}
+	_ = vi.PostSend(p, &via.Descriptor{Op: via.OpRDMAWrite, Len: off}) // want `PostSend with descriptor missing its Region`
+}
+
+func gatherStageNilRegion(p *sim.Proc, vi *via.VI, frags [][]byte) {
+	s := &stage{buf: make([]byte, 1<<20)}
+	off := 0
+	for _, f := range frags {
+		off += copy(s.buf[off:], f)
+	}
+	_ = vi.PostSend(p, &via.Descriptor{Op: via.OpRDMAWrite, Region: nil, Len: off}) // want `PostSend descriptor's Region is nil`
+}
+
+func gatherStageRegistered(p *sim.Proc, n *via.NIC, vi *via.VI, frags [][]byte) {
+	s := &stage{buf: make([]byte, 1<<20)}
+	s.reg = n.Register(p, s.buf)
+	off := 0
+	for _, f := range frags {
+		off += copy(s.buf[off:], f)
+	}
+	_ = vi.PostSend(p, &via.Descriptor{Op: via.OpRDMAWrite, Region: s.reg, Len: off})
+}

@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"fmt"
+
+	"dafsio/internal/cluster"
+	"dafsio/internal/layout"
+	"dafsio/internal/mpiio"
+	"dafsio/internal/sim"
+	"dafsio/internal/stats"
+	"dafsio/internal/trace"
+)
+
+// t17Run writes T6's 4-rank interleaved pattern (128B blocks, 1MB per rank)
+// over a file striped across width servers and returns the aggregate
+// bandwidth, the measured window, and the tracer (nil when traced is false).
+//
+// Methods map onto the striped fan-out as:
+//
+//   - methodNaive:    independent I/O, one DAFS op per stripe fragment
+//   - methodBatch:    independent I/O through the gather planner — one DAFS
+//     batch request per server per replica
+//   - methodTwoPhase: collective two-phase with stripe-aligned file domains
+//     (cb_nodes = width), aggregators batching to their one server
+func t17Run(width int, method collMethod, traced bool) (float64, sim.Time, sim.Time, *trace.Tracer) {
+	const (
+		nranks    = 4
+		perRank   = 1 << 20 // 1MB each, 4MB total
+		blockSize = 128
+	)
+	blocks := int64(perRank / blockSize)
+	st := layout.Striping{StripeSize: stripeSize, Width: width}
+	cfg := cluster.Config{Clients: nranks, Servers: width, DAFS: true, MPI: true}
+	if traced {
+		cfg.Tracer = trace.New
+	}
+	c := cluster.New(cfg)
+	var start, end sim.Time
+	started := sim.NewWaitGroup(c.K, nranks)
+	err := c.SpawnClients(func(p *sim.Proc, i int) {
+		pool, err := c.DialDAFSAll(p, i, nil)
+		if err != nil {
+			panic(err)
+		}
+		drv := mpiio.NewStripedDAFSDriver(pool, st)
+		rank := c.World.Rank(i)
+		hints := &mpiio.Hints{NoBatch: method == methodNaive}
+		f, err := mpiio.Open(p, rank, drv, "aggr", mpiio.ModeRdWr|mpiio.ModeCreate, hints)
+		if err != nil {
+			panic(err)
+		}
+		disp := int64(i) * blockSize
+		f.SetView(disp, mpiio.Vector(blocks, blockSize, nranks*blockSize))
+		buf := make([]byte, perRank)
+		for j := range buf {
+			buf[j] = byte(i + j)
+		}
+		// Warm the per-server handles, the registration cache, and the
+		// staging pool (same discipline as T15).
+		if method == methodTwoPhase {
+			f.WriteAtAll(p, 0, buf)
+		} else {
+			f.WriteAt(p, 0, buf)
+		}
+		started.Done()
+		started.Wait(p)
+		if start == 0 {
+			start = p.Now()
+		}
+		var n int
+		if method == methodTwoPhase {
+			n, err = f.WriteAtAll(p, 0, buf)
+		} else {
+			n, err = f.WriteAt(p, 0, buf)
+		}
+		if err != nil || n != len(buf) {
+			panic(fmt.Sprintf("t17 point: n=%d err=%v", n, err))
+		}
+		rank.Barrier(p)
+		if now := p.Now(); now > end {
+			end = now
+		}
+		f.Close(p)
+	})
+	if err != nil {
+		panic(err)
+	}
+	return stats.MBps(nranks*perRank, end-start), start, end, c.Tracer
+}
+
+// t17Point is t17Run without tracing.
+func t17Point(width int, method collMethod) float64 {
+	bw, _, _, _ := t17Run(width, method, false)
+	return bw
+}
+
+// T17StripedCollective combines T6 and T15: the interleaved collective
+// pattern over a striped file. Per-fragment independent I/O pays one DAFS
+// op per 128B fragment regardless of width; the gather planner restores the
+// batch win (one request per server), and stripe-aligned two-phase keeps
+// each aggregator talking to exactly one server.
+func T17StripedCollective() *stats.Table {
+	t := &stats.Table{
+		ID:    "T17",
+		Title: "Strided collective over striping: 4 ranks, 4MB total, 128B interleave",
+		Note: "file striped 64KB round-robin across the servers; per-seg = one DAFS op per stripe fragment;\n" +
+			"batch = per-server gather plans (one batch request per server per replica);\n" +
+			"two-phase = collective with stripe-aligned file domains (cb_nodes = width,\n" +
+			"each aggregator's domain maps to exactly one server)",
+		Columns: []string{"width", "per-seg MB/s", "batch MB/s", "two-phase MB/s", "batch/per-seg"},
+	}
+	for _, w := range []int{1, 2, 4} {
+		per := t17Point(w, methodNaive)
+		batch := t17Point(w, methodBatch)
+		two := t17Point(w, methodTwoPhase)
+		t.AddRow(itoa(w), stats.BW(per), stats.BW(batch), stats.BW(two), stats.Ratio(batch/per))
+	}
+	return t
+}

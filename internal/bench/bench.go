@@ -44,6 +44,7 @@ var All = []Experiment{
 	{"T14", "Disk-bound server: transports converge (negative result)", T14DiskBound},
 	{"T15", "Striped aggregate bandwidth: clients x servers", T15StripedScaling},
 	{"T16", "Failover under a server crash: replication 1 vs 2", T16Failover},
+	{"T17", "Strided collective over striping: aligned domains + batch gather", T17StripedCollective},
 }
 
 // ByID finds an experiment.

@@ -32,8 +32,8 @@ func TestRegistryComplete(t *testing.T) {
 			t.Fatalf("ByID(%s) = nil", e.ID)
 		}
 	}
-	if len(All) != 16 {
-		t.Fatalf("expected 16 experiments, have %d", len(All))
+	if len(All) != 17 {
+		t.Fatalf("expected 17 experiments, have %d", len(All))
 	}
 	if ByID("T99") != nil {
 		t.Fatal("ByID invented an experiment")

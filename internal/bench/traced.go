@@ -76,3 +76,11 @@ func TracedT15(clients, servers int) TracedResult {
 	bw, start, end, tr := stripeRun(clients, servers, false, true)
 	return TracedResult{ID: "T15", MBps: bw, Start: start, End: end, Tracer: tr}
 }
+
+// TracedT17 re-runs T17's stripe-aligned two-phase collective write at the
+// given width with tracing: aggregate-layer spans (plan/pack/exchange/
+// scatter) over per-server batch fan-out, one server per aggregator.
+func TracedT17(width int) TracedResult {
+	bw, start, end, tr := t17Run(width, methodTwoPhase, true)
+	return TracedResult{ID: "T17", MBps: bw, Start: start, End: end, Tracer: tr}
+}

@@ -210,6 +210,17 @@ func (c *Cluster) scheduleFaults() {
 					srv.Crash()
 				}
 			})
+		case fault.ServerRestart:
+			node := c.nodeByName(ev.Node)
+			srv := c.dafsSrvOn(node)
+			c.K.At(ev.At, func() {
+				if nic := c.Prov.NIC(node.ID); nic != nil {
+					nic.Revive()
+				}
+				if srv != nil {
+					srv.Restart()
+				}
+			})
 		case fault.SlowDisk:
 			disk := c.diskOn(c.nodeByName(ev.Node))
 			if disk == nil {

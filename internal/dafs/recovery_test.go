@@ -144,6 +144,64 @@ func TestRedialRestoresServiceAndHandles(t *testing.T) {
 	}
 }
 
+// TestRedialAfterRestartSucceeds: a crash is no longer permanent. After
+// fail-stop (NIC dead, server crashed) the in-flight call times out and a
+// redial is rejected; after Restart (NIC revived, empty session table,
+// store intact) the redial succeeds, the pre-crash FH still works — FHs
+// are store-level — and the pre-crash data reads back. The old, broken
+// session stays broken: its state predates the restart.
+func TestRedialAfterRestartSucceeds(t *testing.T) {
+	r := newRig(1, nil)
+	const deadline = 3 * sim.Millisecond
+	r.k.Spawn("app", func(p *sim.Proc) {
+		c, err := Dial(p, r.cNICs[0], r.srv, &Options{CallTimeout: deadline})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		fh, _, err := c.Create(p, "f")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		want := pattern(4096, 9)
+		if _, err := c.Write(p, fh, 0, want); err != nil {
+			t.Error(err)
+			return
+		}
+		r.srv.NIC().Kill()
+		r.srv.Crash()
+		if _, err := c.Read(p, fh, 0, make([]byte, 16)); !errors.Is(err, ErrSession) {
+			t.Errorf("read on crashed server: err=%v, want ErrSession", err)
+			return
+		}
+		if _, err := c.Redial(p); !errors.Is(err, ErrSession) {
+			t.Errorf("redial while down: err=%v, want ErrSession", err)
+			return
+		}
+		r.srv.NIC().Revive()
+		r.srv.Restart()
+		nc, err := c.Redial(p)
+		if err != nil {
+			t.Errorf("redial after restart: %v", err)
+			return
+		}
+		got := make([]byte, len(want))
+		if _, err := nc.Read(p, fh, 0, got); err != nil {
+			t.Errorf("read with pre-crash FH after restart: %v", err)
+			return
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("byte %d: got %d want %d (store must survive the restart)", i, got[i], want[i])
+			}
+		}
+	})
+	if err := r.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestRetryPolicyBackoff: capped exponential doubling, deterministic (no
 // jitter — the whole simulation shares one clock).
 func TestRetryPolicyBackoff(t *testing.T) {

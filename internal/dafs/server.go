@@ -129,13 +129,25 @@ func (s *Server) NIC() *via.NIC { return s.nic }
 func (s *Server) Stats() ServerStats { return s.stats }
 
 // Crash fail-stops the server: it rejects new sessions and stops servicing
-// requests. Crashed servers never restart — the fault model is fail-stop,
-// and recovery is the clients' job (redial another replica). Pair with
-// NIC.Kill so in-flight wire traffic dies too.
+// requests. A crashed server stays down until Restart
+// (fault.ServerRestart); until then recovery is the clients' job (redial
+// another replica). Pair with NIC.Kill so in-flight wire traffic dies too.
 func (s *Server) Crash() { s.crashed = true }
 
 // Crashed reports whether the server has fail-stopped.
 func (s *Server) Crashed() bool { return s.crashed }
+
+// Restart re-admits a crashed server with an empty session table: every
+// pre-crash session is gone (clients must redial; their stale handles get
+// ErrSession), but the store — and therefore all durably written data —
+// survives intact. Pair with NIC.Revive so the wire comes back too.
+func (s *Server) Restart() {
+	s.crashed = false
+	for _, sess := range s.sessions {
+		sess.closed = true
+	}
+	s.sessions = nil
+}
 
 // accept performs the server side of session establishment: it creates and
 // connects the VI, registers the session's message buffers, and pre-posts
@@ -207,6 +219,9 @@ func (s *Server) handle(p *sim.Proc, req *srvReq) {
 		return
 	}
 	sess := req.sess
+	if sess.closed {
+		return // session predates a restart or died mid-service: no reply
+	}
 	msg := req.s.bytes()[:req.length]
 	hdr, err := decodeHeader(msg)
 	if err != nil {

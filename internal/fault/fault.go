@@ -24,14 +24,16 @@ import (
 // Kind identifies a fault class.
 type Kind int
 
-// Fault kinds. ServerCrash and SlowDisk target components and are wired by
-// the cluster (the injector only schedules them); NICStall, DropCell, and
-// DupCell target the wire and are consulted by the VIA transmit path.
+// Fault kinds. ServerCrash, ServerRestart, and SlowDisk target components
+// and are wired by the cluster (the injector only schedules them);
+// NICStall, DropCell, and DupCell target the wire and are consulted by the
+// VIA transmit path.
 const (
 	// ServerCrash fail-stops the node at Event.At: its NIC transmits and
 	// receives nothing from then on, and its DAFS server rejects new
-	// sessions and services nothing. Crashed nodes never un-crash; recovery
-	// is the client's job (redial, replica failover).
+	// sessions and services nothing. A crashed node stays down until a
+	// ServerRestart re-admits it; in the meantime recovery is the client's
+	// job (redial, replica failover).
 	ServerCrash Kind = iota
 	// NICStall pauses the node's NIC transmit engine for Event.Dur starting
 	// at Event.At; queued cells drain when the stall window closes.
@@ -49,6 +51,13 @@ const (
 	// SlowDisk multiplies the node disk's service time by Event.Factor for
 	// Event.Dur starting at Event.At.
 	SlowDisk
+	// ServerRestart power-cycles a crashed node at Event.At: the NIC
+	// transmits and receives again and the DAFS server is re-admitted with
+	// an empty session table — every pre-crash session is gone and stale
+	// use of one surfaces ErrSession, but the store (all durably written
+	// data) survives intact. Clients must redial; re-silvering a replica
+	// that missed writes stays the client's job.
+	ServerRestart
 )
 
 // String names the kind.
@@ -64,6 +73,8 @@ func (k Kind) String() string {
 		return "dup-cell"
 	case SlowDisk:
 		return "slow-disk"
+	case ServerRestart:
+		return "server-restart"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -101,7 +112,7 @@ func (pl Plan) Validate() error {
 			return fmt.Errorf("fault: event %d: empty node name", i)
 		}
 		switch ev.Kind {
-		case ServerCrash:
+		case ServerCrash, ServerRestart:
 		case NICStall:
 			if ev.Dur <= 0 {
 				return fmt.Errorf("fault: event %d: stall needs a positive Dur", i)

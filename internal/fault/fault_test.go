@@ -14,6 +14,7 @@ func TestPlanValidate(t *testing.T) {
 		{At: sim.Millisecond, Kind: DropCell, Node: "server"},
 		{At: sim.Millisecond, Kind: DupCell, Node: "server", Count: 3},
 		{At: sim.Millisecond, Kind: SlowDisk, Node: "server", Dur: sim.Millisecond, Factor: 4},
+		{At: 2 * sim.Millisecond, Kind: ServerRestart, Node: "server"},
 	}}
 	if err := good.Validate(); err != nil {
 		t.Fatalf("good plan rejected: %v", err)
@@ -39,11 +40,12 @@ func TestPlanValidate(t *testing.T) {
 
 func TestKindString(t *testing.T) {
 	for k, want := range map[Kind]string{
-		ServerCrash: "server-crash",
-		NICStall:    "nic-stall",
-		DropCell:    "drop-cell",
-		DupCell:     "dup-cell",
-		SlowDisk:    "slow-disk",
+		ServerCrash:   "server-crash",
+		NICStall:      "nic-stall",
+		DropCell:      "drop-cell",
+		DupCell:       "dup-cell",
+		SlowDisk:      "slow-disk",
+		ServerRestart: "server-restart",
 	} {
 		if got := k.String(); got != want {
 			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)

@@ -5,16 +5,22 @@ import (
 	"fmt"
 	"sort"
 
+	"dafsio/internal/aggregate"
+	"dafsio/internal/layout"
 	"dafsio/internal/mpi"
 	"dafsio/internal/sim"
+	"dafsio/internal/trace"
 )
 
 // Two-phase collective I/O (ROMIO's generalized collective algorithm):
 //
 //  1. Every rank translates its request through its view and the ranks
 //     exchange their access extents.
-//  2. The aggregate file range is partitioned into equal *file domains*,
-//     one per rank (all ranks aggregate, cb_nodes = world size).
+//  2. The aggregate file range is partitioned into *file domains* by the
+//     internal/aggregate planner: stripe-aligned (one aggregator per
+//     server, cb_nodes = stripe width) when the driver exposes a striped
+//     layout and the world is wide enough, else equal chunks, one per
+//     rank (cb_nodes = world size).
 //  3. Writes: each rank ships (offset, data) tuples to the domain owners
 //     over MPI (Alltoallv); owners assemble contiguous runs in collective
 //     buffers and issue few large driver writes.
@@ -39,15 +45,28 @@ func (f *File) WriteAtAll(p *sim.Proc, off int64, buf []byte) (int, error) {
 	if r == nil || r.Size() == 1 {
 		return f.WriteAt(p, off, buf)
 	}
+	if f.tr != nil {
+		id := f.tr.Begin(f.track, trace.LayerMPIIO, "write-all", trace.OpID(p.TraceCtx()))
+		old := p.SetTraceCtx(uint64(id))
+		defer func() {
+			p.SetTraceCtx(old)
+			f.tr.End(id)
+		}()
+	}
 	segs := f.physSegs(off, len(buf))
+	endPlan := f.aggSpan(p, "plan")
 	gmin, gmax, any := f.exchangeExtents(p, segs)
 	if !any {
+		endPlan()
 		return 0, nil
 	}
 	n := r.Size()
+	pt := f.collPartition(gmin, gmax)
+	endPlan()
 	node := f.drv.Node()
 
 	// Phase 1: pack (offset, data) tuples per destination domain owner.
+	endPack := f.aggSpan(p, "pack")
 	payloads := make([][]byte, n)
 	pos := 0
 	packed := 0
@@ -57,8 +76,7 @@ func (f *File) WriteAtAll(p *sim.Proc, off int64, buf []byte) (int, error) {
 		cur := s.Off
 		remaining := s.Len
 		for remaining > 0 {
-			a := domainOf(gmin, gmax, n, cur)
-			_, hi := domainBounds(gmin, gmax, n, a)
+			a, hi := pt.Owner(cur)
 			take := min(hi-cur, remaining)
 			pl := payloads[a]
 			pl = binary.LittleEndian.AppendUint64(pl, uint64(cur))
@@ -72,9 +90,12 @@ func (f *File) WriteAtAll(p *sim.Proc, off int64, buf []byte) (int, error) {
 		}
 	}
 	node.CopyMem(p, packed)
+	endPack()
 
 	// Phase 2: exchange and aggregate.
+	endEx := f.aggSpan(p, "exchange")
 	recv := r.AlltoallvBytes(p, payloads)
+	endEx()
 	aggErr := f.aggregateWrite(p, recv)
 
 	// Completion + error propagation (also orders the data for any
@@ -93,7 +114,10 @@ func (f *File) WriteAtAll(p *sim.Proc, off int64, buf []byte) (int, error) {
 }
 
 // aggregateWrite sorts this rank's incoming tuples, assembles contiguous
-// runs up to CollBufSize, and writes them with pipelined driver operations.
+// runs (each capped at CollBufSize) into one packed collective buffer, and
+// issues them — as a single batch request when the driver supports list
+// I/O and more than one run survived, else as pipelined contiguous writes
+// (the exact pre-aggregate sequence).
 func (f *File) aggregateWrite(p *sim.Proc, recv [][]byte) error {
 	node := f.drv.Node()
 	type tuple struct {
@@ -117,44 +141,58 @@ func (f *File) aggregateWrite(p *sim.Proc, recv [][]byte) error {
 	}
 	sort.SliceStable(tuples, func(i, j int) bool { return tuples[i].off < tuples[j].off })
 
-	var ops []AsyncOp
-	var run []byte
-	runStart := int64(-1)
+	// Assemble: runs[i] covers packed[runPos(i):...]; assembly is pure host
+	// computation, so deferring the driver operations costs no simulated
+	// time versus issuing each run as it closes.
+	var packed []byte
+	var runs []Segment
+	runPos := 0 // start of the open run within packed
 	assembled := 0
-	flush := func() error {
-		if len(run) == 0 {
-			return nil
-		}
-		op, err := f.h.StartWrite(p, runStart, run)
-		if err != nil {
-			return err
-		}
-		ops = append(ops, op)
-		run, runStart = nil, -1
-		return nil
-	}
 	for _, t := range tuples {
-		end := runStart + int64(len(run))
+		end := int64(-1)
+		if len(runs) > 0 {
+			end = runs[len(runs)-1].Off + runs[len(runs)-1].Len
+		}
 		switch {
-		case runStart == -1:
-			runStart = t.off
-			run = append(make([]byte, 0, min(f.hints.CollBufSize, 4*len(t.data))), t.data...)
-		case t.off == end && len(run)+len(t.data) <= f.hints.CollBufSize:
-			run = append(run, t.data...)
-		case t.off >= runStart && t.off+int64(len(t.data)) <= end:
+		case len(runs) == 0:
+			runPos = len(packed)
+			runs = append(runs, Segment{Off: t.off, Len: int64(len(t.data))})
+			packed = append(packed, t.data...)
+		case t.off == end && int(runs[len(runs)-1].Len)+len(t.data) <= f.hints.CollBufSize:
+			runs[len(runs)-1].Len += int64(len(t.data))
+			packed = append(packed, t.data...)
+		case t.off >= runs[len(runs)-1].Off && t.off+int64(len(t.data)) <= end:
 			// Overlap fully inside the run: later tuple wins.
-			copy(run[t.off-runStart:], t.data)
+			copy(packed[runPos+int(t.off-runs[len(runs)-1].Off):], t.data)
 		default:
-			if err := flush(); err != nil {
-				return err
-			}
-			runStart = t.off
-			run = append([]byte(nil), t.data...)
+			runPos = len(packed)
+			runs = append(runs, Segment{Off: t.off, Len: int64(len(t.data))})
+			packed = append(packed, t.data...)
 		}
 		assembled += len(t.data)
 	}
-	if err := flush(); err != nil {
+
+	// One batch request for the whole hole-separated domain when the
+	// protocol can carry it.
+	if lh, ok := f.h.(ListHandle); ok && !f.hints.NoBatch && len(runs) > 1 {
+		op, err := lh.StartWriteList(p, runs, packed)
+		if err != nil {
+			return err
+		}
+		node.CopyMem(p, assembled) // collective-buffer assembly copy
+		_, err = op.Wait(p)
 		return err
+	}
+
+	var ops []AsyncOp
+	pos := 0
+	for _, run := range runs {
+		op, err := f.h.StartWrite(p, run.Off, packed[pos:pos+int(run.Len)])
+		if err != nil {
+			return err
+		}
+		pos += int(run.Len)
+		ops = append(ops, op)
 	}
 	node.CopyMem(p, assembled) // collective-buffer assembly copy
 	for _, op := range ops {
@@ -178,12 +216,24 @@ func (f *File) ReadAtAll(p *sim.Proc, off int64, buf []byte) (int, error) {
 	if r == nil || r.Size() == 1 {
 		return f.ReadAt(p, off, buf)
 	}
+	if f.tr != nil {
+		id := f.tr.Begin(f.track, trace.LayerMPIIO, "read-all", trace.OpID(p.TraceCtx()))
+		old := p.SetTraceCtx(uint64(id))
+		defer func() {
+			p.SetTraceCtx(old)
+			f.tr.End(id)
+		}()
+	}
 	segs := f.physSegs(off, len(buf))
+	endPlan := f.aggSpan(p, "plan")
 	gmin, gmax, any := f.exchangeExtents(p, segs)
 	if !any {
+		endPlan()
 		return 0, nil
 	}
 	n := r.Size()
+	pt := f.collPartition(gmin, gmax)
+	endPlan()
 	node := f.drv.Node()
 
 	// Phase 1: send (offset, length) request tuples to domain owners,
@@ -192,6 +242,7 @@ func (f *File) ReadAtAll(p *sim.Proc, off int64, buf []byte) (int, error) {
 		bufPos int
 		n      int
 	}
+	endPack := f.aggSpan(p, "pack")
 	reqPayloads := make([][]byte, n)
 	myReqs := make([][]reqRef, n)
 	pos := 0
@@ -201,8 +252,7 @@ func (f *File) ReadAtAll(p *sim.Proc, off int64, buf []byte) (int, error) {
 		cur := s.Off
 		remaining := s.Len
 		for remaining > 0 {
-			a := domainOf(gmin, gmax, n, cur)
-			_, hi := domainBounds(gmin, gmax, n, a)
+			a, hi := pt.Owner(cur)
 			take := min(hi-cur, remaining)
 			pl := reqPayloads[a]
 			pl = binary.LittleEndian.AppendUint64(pl, uint64(cur))
@@ -213,13 +263,19 @@ func (f *File) ReadAtAll(p *sim.Proc, off int64, buf []byte) (int, error) {
 			remaining -= take
 		}
 	}
+	endPack()
+	endEx := f.aggSpan(p, "exchange")
 	reqs := r.AlltoallvBytes(p, reqPayloads)
+	endEx()
 
 	// Phase 2: serve my domain and exchange the data back.
 	replies, aggErr := f.aggregateRead(p, reqs)
+	endEx2 := f.aggSpan(p, "exchange")
 	datas := r.AlltoallvBytes(p, replies)
+	endEx2()
 
 	// Scatter replies into buf (reply tuples mirror request order).
+	endScatter := f.aggSpan(p, "scatter")
 	total := 0
 	var scatterErr error
 	for a, reply := range datas {
@@ -240,6 +296,7 @@ func (f *File) ReadAtAll(p *sim.Proc, off int64, buf []byte) (int, error) {
 		}
 	}
 	node.CopyMem(p, total)
+	endScatter()
 
 	ok := int64(1)
 	if aggErr != nil || scatterErr != nil {
@@ -313,29 +370,61 @@ func (f *File) aggregateRead(p *sim.Proc, reqs [][]byte) ([][]byte, error) {
 	}
 	merged := mergeRanges(ranges)
 
-	// Read merged ranges in CollBufSize chunks.
 	type span struct {
 		off  int64
 		data []byte
 	}
 	var spans []span
-	for _, m := range merged {
-		cur := m.Off
-		remaining := m.Len
-		for remaining > 0 {
-			take := min(remaining, int64(f.hints.CollBufSize))
-			chunk := make([]byte, take)
-			got, err := f.h.ReadContig(p, cur, chunk)
-			if err != nil {
-				return nil, err
+
+	// One batch request for the whole hole-separated domain when the
+	// protocol can carry it. Batch reads zero-fill EOF holes inside the
+	// staging buffer and report only the byte total, so a short count
+	// leaves hole positions ambiguous — discard and fall back to chunked
+	// contiguous reads (correct, and rare: collectives over dense files).
+	if lh, ok := f.h.(ListHandle); ok && !f.hints.NoBatch && len(merged) > 1 {
+		var total int64
+		for _, m := range merged {
+			total += m.Len
+		}
+		stage := make([]byte, total)
+		op, err := lh.StartReadList(p, merged, stage)
+		if err != nil {
+			return nil, err
+		}
+		got, err := op.Wait(p)
+		if err != nil {
+			return nil, err
+		}
+		if int64(got) == total {
+			pos := int64(0)
+			for _, m := range merged {
+				spans = append(spans, span{off: m.Off, data: stage[pos : pos+m.Len]})
+				pos += m.Len
 			}
-			if got > 0 {
-				spans = append(spans, span{off: cur, data: chunk[:got]})
-			}
-			cur += take
-			remaining -= take
-			if got < int(take) {
-				break // EOF inside this range
+		}
+	}
+
+	// Read merged ranges in CollBufSize chunks (the non-batch path, and
+	// the fallback when a batch read came back short).
+	if spans == nil {
+		for _, m := range merged {
+			cur := m.Off
+			remaining := m.Len
+			for remaining > 0 {
+				take := min(remaining, int64(f.hints.CollBufSize))
+				chunk := make([]byte, take)
+				got, err := f.h.ReadContig(p, cur, chunk)
+				if err != nil {
+					return nil, err
+				}
+				if got > 0 {
+					spans = append(spans, span{off: cur, data: chunk[:got]})
+				}
+				cur += take
+				remaining -= take
+				if got < int(take) {
+					break // EOF inside this range
+				}
 			}
 		}
 	}
@@ -406,33 +495,48 @@ func (f *File) exchangeExtents(p *sim.Proc, segs []Segment) (gmin, gmax int64, a
 	return gmin, gmax, any
 }
 
-// domainBounds returns aggregator a's file domain [lo, hi).
-func domainBounds(gmin, gmax int64, nAgg, a int) (int64, int64) {
-	span := gmax - gmin
-	chunk := (span + int64(nAgg) - 1) / int64(nAgg)
-	if chunk == 0 {
-		chunk = 1
-	}
-	lo := min(gmin+int64(a)*chunk, gmax)
-	hi := min(lo+chunk, gmax)
-	return lo, hi
+// striper is the optional Driver extension exposing the placement policy
+// (StripedDAFSDriver implements it); the collective layer uses it to align
+// file domains to the stripe.
+type striper interface {
+	Striping() layout.Striping
 }
 
-// domainOf returns the aggregator owning byte offset off.
+// collPartition builds this collective's file-domain partition over the
+// hull [gmin, gmax): stripe-aligned when the hints allow it and the driver
+// exposes a striped layout, else the legacy equal split.
+func (f *File) collPartition(gmin, gmax int64) aggregate.Partition {
+	world := f.rank.Size()
+	if f.hints.CollectiveAlign != AlignOff {
+		if sd, ok := f.drv.(striper); ok {
+			return aggregate.Domains(sd.Striping(), gmin, gmax, world, true)
+		}
+	}
+	return aggregate.Domains(layout.Striping{Width: 1}, gmin, gmax, world, false)
+}
+
+// aggSpan opens an observational aggregation-layer span (plan, pack,
+// exchange, scatter) under the current trace context and returns its
+// closer. Spans consume no simulated time.
+func (f *File) aggSpan(p *sim.Proc, name string) func() {
+	if f.tr == nil {
+		return func() {}
+	}
+	id := f.tr.Begin(f.track, trace.LayerAggregate, name, trace.OpID(p.TraceCtx()))
+	return func() { f.tr.End(id) }
+}
+
+// domainBounds returns aggregator a's file domain [lo, hi) under the
+// legacy equal split (kept as the documented fallback contract; the math
+// lives in internal/aggregate).
+func domainBounds(gmin, gmax int64, nAgg, a int) (int64, int64) {
+	return aggregate.EqualBounds(gmin, gmax, nAgg, a)
+}
+
+// domainOf returns the aggregator owning byte offset off under the legacy
+// equal split.
 func domainOf(gmin, gmax int64, nAgg int, off int64) int {
-	span := gmax - gmin
-	chunk := (span + int64(nAgg) - 1) / int64(nAgg)
-	if chunk == 0 {
-		return 0
-	}
-	a := int((off - gmin) / chunk)
-	if a >= nAgg {
-		a = nAgg - 1
-	}
-	if a < 0 {
-		a = 0
-	}
-	return a
+	return aggregate.EqualOwner(gmin, gmax, nAgg, off)
 }
 
 // mergeRanges sorts and unions byte ranges.

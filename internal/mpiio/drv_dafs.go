@@ -267,8 +267,15 @@ func (h *dafsHandle) startList(p *sim.Proc, segs []Segment, buf []byte, write bo
 	if len(buf) == 0 {
 		return doneOp{}, nil
 	}
-	c := h.drv.client
-	reg := h.drv.region(p, buf)
+	return startDafsList(p, h.drv, h.drv.client, h.fh, segs, buf, write)
+}
+
+// startDafsList is the session-level batch list issue shared by the
+// single-server handle and the striped handle's width-1 delegation: buf is
+// registered once through d's cache and each batch chunk moves with a
+// single request plus a single RDMA on c.
+func startDafsList(p *sim.Proc, d *DAFSDriver, c *dafs.Client, fh dafs.FH, segs []Segment, buf []byte, write bool) (AsyncOp, error) {
+	reg := d.region(p, buf)
 	maxSegs := c.MaxBatch()
 	var ops multiOp
 	specs := make([]dafs.SegSpec, 0, min(len(segs), maxSegs))
@@ -281,14 +288,14 @@ func (h *dafsHandle) startList(p *sim.Proc, segs []Segment, buf []byte, write bo
 		var io *dafs.IO
 		var err error
 		if write {
-			io, err = c.StartWriteBatch(p, h.fh, specs, reg, chunkStart)
+			io, err = c.StartWriteBatch(p, fh, specs, reg, chunkStart)
 		} else {
-			io, err = c.StartReadBatch(p, h.fh, specs, reg, chunkStart)
+			io, err = c.StartReadBatch(p, fh, specs, reg, chunkStart)
 		}
 		if err != nil {
 			return mapDafsErr(err)
 		}
-		ops = append(ops, &dafsOp{io: io, drv: h.drv})
+		ops = append(ops, &dafsOp{io: io, drv: d})
 		specs = specs[:0]
 		chunkStart = pos
 		return nil
@@ -298,18 +305,18 @@ func (h *dafsHandle) startList(p *sim.Proc, segs []Segment, buf []byte, write bo
 		pos += int(s.Len)
 		if len(specs) == maxSegs {
 			if err := flush(); err != nil {
-				h.drv.release(p, reg)
+				d.release(p, reg)
 				return nil, err
 			}
 		}
 	}
 	if err := flush(); err != nil {
-		h.drv.release(p, reg)
+		d.release(p, reg)
 		return nil, err
 	}
 	// Release the registration once, after the last chunk completes.
 	last := len(ops) - 1
-	ops[last] = &dafsOp{io: ops[last].(*dafsOp).io, drv: h.drv, reg: reg}
+	ops[last] = &dafsOp{io: ops[last].(*dafsOp).io, drv: d, reg: reg}
 	return ops, nil
 }
 

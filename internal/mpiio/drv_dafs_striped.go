@@ -59,6 +59,8 @@ type StripedDAFSDriver struct {
 	gaveUp   []bool                  // per server: recovery exhausted, permanently dead
 	episode  []*sim.Future[struct{}] // per server: in-progress recovery, nil when none
 	epoch    []int                   // per server: recovery episode counter
+
+	stagePool []*stageBuf // registered staging buffers for batched gather I/O
 }
 
 // NewStripedDAFSDriver wraps a session pool, one session per server in

@@ -21,9 +21,24 @@ type Hints struct {
 	// off, the layer issues one driver operation per segment (list I/O).
 	Sieving bool
 	// NoBatch disables protocol-level batch I/O (ListHandle) even when
-	// the driver supports it, forcing per-segment list operations.
+	// the driver supports it, forcing per-segment list operations. It also
+	// keeps collective aggregators on per-run contiguous operations
+	// instead of one batch request per collective phase.
 	NoBatch bool
+	// CollectiveAlign controls stripe-aligned file domains for two-phase
+	// collective I/O (the ROMIO-on-PVFS optimization). AlignAuto (the
+	// default) and AlignOn align when the driver exposes its striping and
+	// the world has at least Width ranks; AlignOff pins the legacy equal
+	// split. See internal/aggregate for the full fallback matrix.
+	CollectiveAlign int
 }
+
+// CollectiveAlign values.
+const (
+	AlignAuto = iota
+	AlignOff
+	AlignOn
+)
 
 func (h *Hints) withDefaults() Hints {
 	out := Hints{CollBufSize: 1 << 20, SieveBufSize: 512 << 10}
@@ -36,6 +51,7 @@ func (h *Hints) withDefaults() Hints {
 		}
 		out.Sieving = h.Sieving
 		out.NoBatch = h.NoBatch
+		out.CollectiveAlign = h.CollectiveAlign
 	}
 	return out
 }

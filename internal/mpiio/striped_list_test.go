@@ -1,0 +1,215 @@
+package mpiio
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"dafsio/internal/cluster"
+	"dafsio/internal/dafs"
+	"dafsio/internal/layout"
+	"dafsio/internal/sim"
+)
+
+// stripedListRig builds an N-server cluster and opens a (possibly
+// replicated) striped file from client 0 with the given hints, a call
+// deadline, and a redial policy — the configuration the batched failover
+// paths need.
+func stripedListRig(t *testing.T, servers, replicas int, retry dafs.RetryPolicy, hints *Hints,
+	fn func(p *sim.Proc, f *File, drv *StripedDAFSDriver, c *cluster.Cluster)) {
+	t.Helper()
+	const stripe = 4 << 10
+	c := cluster.New(cluster.Config{Clients: 1, Servers: servers, DAFS: true})
+	c.K.Spawn("app", func(p *sim.Proc) {
+		pool, err := c.DialDAFSAll(p, 0, &dafs.Options{CallTimeout: 5 * sim.Millisecond})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		drv := NewStripedDAFSDriver(pool, layout.Striping{StripeSize: stripe, Width: servers, Replicas: replicas})
+		drv.Retry = retry
+		f, err := Open(p, nil, drv, "s", ModeRdWr|ModeCreate, hints)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		fn(p, f, drv, c)
+		f.Close(p)
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// dumpStores snapshots every object every server holds, keyed by
+// server:name — the physical ground truth a path-equivalence test compares.
+func dumpStores(c *cluster.Cluster, names []string) map[string][]byte {
+	out := make(map[string][]byte)
+	for s, store := range c.Stores {
+		for _, name := range names {
+			obj, err := store.Lookup(name)
+			if err != nil {
+				continue
+			}
+			b := make([]byte, obj.Size())
+			obj.ReadAt(b, 0)
+			out[fmt.Sprintf("%d:%s", s, name)] = b
+		}
+	}
+	return out
+}
+
+// TestStripedBatchListEquivalence: the per-server batch path and the
+// per-fragment path must leave byte-identical objects on every server
+// (primaries and replica mirrors) and read back identically, for a
+// noncontiguous view whose segments cross stripe boundaries.
+func TestStripedBatchListEquivalence(t *testing.T) {
+	const servers, replicas = 3, 2
+	run := func(noBatch bool) (map[string][]byte, []byte) {
+		var stores map[string][]byte
+		var readBack []byte
+		stripedListRig(t, servers, replicas, dafs.RetryPolicy{}, &Hints{NoBatch: noBatch},
+			func(p *sim.Proc, f *File, drv *StripedDAFSDriver, c *cluster.Cluster) {
+				f.SetView(64, Vector(40, 700, 2100))
+				want := pattern(40 * 700)
+				if n, err := f.WriteAt(p, 0, want); err != nil || n != len(want) {
+					t.Errorf("write: n=%d err=%v", n, err)
+				}
+				got := make([]byte, len(want))
+				if n, err := f.ReadAt(p, 0, got); err != nil || n != len(want) {
+					t.Errorf("read: n=%d err=%v", n, err)
+				}
+				readBack = got
+				stores = dumpStores(c, []string{"s", layout.ReplicaName("s", 1)})
+			})
+		return stores, readBack
+	}
+	batchStores, batchRead := run(false)
+	listStores, listRead := run(true)
+	if !bytes.Equal(batchRead, listRead) {
+		t.Fatal("batch and per-fragment paths read back differently")
+	}
+	if len(batchStores) != len(listStores) {
+		t.Fatalf("object sets differ: %d vs %d", len(batchStores), len(listStores))
+	}
+	for k, v := range listStores {
+		if !bytes.Equal(batchStores[k], v) {
+			t.Fatalf("object %s differs between batch and per-fragment paths", k)
+		}
+	}
+}
+
+// TestStripedBatchFasterThanPerSeg: at width > 1, fine-grained
+// noncontiguous access through the gather planner (one batch request per
+// server) must beat one DAFS operation per fragment — the T6 batch win
+// restored over stripes.
+func TestStripedBatchFasterThanPerSeg(t *testing.T) {
+	measure := func(noBatch bool) sim.Time {
+		var elapsed sim.Time
+		stripedListRig(t, 2, 1, dafs.RetryPolicy{}, &Hints{NoBatch: noBatch},
+			func(p *sim.Proc, f *File, drv *StripedDAFSDriver, c *cluster.Cluster) {
+				f.SetView(0, Vector(256, 512, 2048))
+				buf := pattern(256 * 512)
+				f.WriteAt(p, 0, buf) // warm
+				start := p.Now()
+				if _, err := f.WriteAt(p, 0, buf); err != nil {
+					t.Error(err)
+				}
+				elapsed = p.Now() - start
+			})
+		return elapsed
+	}
+	batch := measure(false)
+	perSeg := measure(true)
+	if batch >= perSeg {
+		t.Fatalf("striped batch (%v) not faster than per-fragment (%v)", batch, perSeg)
+	}
+}
+
+// TestStripedBatchFailover: with replication, a server crash between
+// batched noncontiguous writes costs a deadline, then the plan completes
+// on the surviving replicas and every byte reads back through the batched
+// read-any path.
+func TestStripedBatchFailover(t *testing.T) {
+	const servers, replicas = 3, 2
+	retry := dafs.RetryPolicy{Base: 100 * sim.Microsecond, Max: 400 * sim.Microsecond, Attempts: 2}
+	stripedListRig(t, servers, replicas, retry, nil,
+		func(p *sim.Proc, f *File, drv *StripedDAFSDriver, c *cluster.Cluster) {
+			f.SetView(0, Vector(24, 1024, 2048))
+			data := pattern(24 * 1024)
+			half := len(data) / 2
+			if _, err := f.WriteAt(p, 0, data[:half]); err != nil {
+				t.Fatalf("pre-crash write: %v", err)
+			}
+			crashServer(c, 1)
+			if _, err := f.WriteAt(p, int64(half), data[half:]); err != nil {
+				t.Fatalf("post-crash write: %v", err)
+			}
+			got := make([]byte, len(data))
+			if n, err := f.ReadAt(p, 0, got); err != nil || n != len(data) {
+				t.Fatalf("read-back = %d, %v", n, err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatal("read-back mismatch after batched failover")
+			}
+		})
+}
+
+// TestStripedBatchUnreplicatedCrashFails: without replication a batched
+// plan touching the dead server has nowhere to go — the operation must
+// fail wrapping ErrAllReplicasDown.
+func TestStripedBatchUnreplicatedCrashFails(t *testing.T) {
+	stripedListRig(t, 3, 1, dafs.RetryPolicy{}, nil,
+		func(p *sim.Proc, f *File, drv *StripedDAFSDriver, c *cluster.Cluster) {
+			f.SetView(0, Vector(12, 1024, 2048))
+			data := pattern(12 * 1024)
+			if _, err := f.WriteAt(p, 0, data); err != nil {
+				t.Fatalf("healthy write: %v", err)
+			}
+			crashServer(c, 1)
+			if _, err := f.WriteAt(p, 0, data); !errors.Is(err, dafs.ErrAllReplicasDown) {
+				t.Fatalf("batched write with dead server: err=%v, want ErrAllReplicasDown", err)
+			}
+			if _, err := f.ReadAt(p, 0, make([]byte, len(data))); !errors.Is(err, dafs.ErrAllReplicasDown) {
+				t.Fatalf("batched read with dead server: err=%v, want ErrAllReplicasDown", err)
+			}
+		})
+}
+
+// TestStripedWidth1BatchEquivalence: at width 1 the striped handle's list
+// path delegates to the single-server batch machinery — same bytes AND the
+// same simulated elapsed time as the plain DAFSDriver.
+func TestStripedWidth1BatchEquivalence(t *testing.T) {
+	type result struct {
+		elapsed sim.Time
+		read    []byte
+	}
+	work := func(p *sim.Proc, f *File) result {
+		f.SetView(0, Vector(64, 700, 2100))
+		data := pattern(64 * 700)
+		start := p.Now()
+		if _, err := f.WriteAt(p, 0, data); err != nil {
+			t.Error(err)
+		}
+		got := make([]byte, len(data))
+		if _, err := f.ReadAt(p, 0, got); err != nil {
+			t.Error(err)
+		}
+		return result{elapsed: p.Now() - start, read: got}
+	}
+	var striped, plain result
+	stripedListRig(t, 1, 1, dafs.RetryPolicy{}, nil,
+		func(p *sim.Proc, f *File, drv *StripedDAFSDriver, c *cluster.Cluster) {
+			striped = work(p, f)
+		})
+	batchRig(t, nil, func(p *sim.Proc, f *File, c *cluster.Cluster) {
+		plain = work(p, f)
+	})
+	if !bytes.Equal(striped.read, plain.read) {
+		t.Fatal("width-1 striped batch reads differ from unstriped")
+	}
+	if striped.elapsed != plain.elapsed {
+		t.Fatalf("width-1 striped batch elapsed %v != unstriped %v", striped.elapsed, plain.elapsed)
+	}
+}

@@ -31,6 +31,7 @@ type Layer uint8
 // Layers, ordered top of the stack to bottom.
 const (
 	LayerMPIIO Layer = iota
+	LayerAggregate
 	LayerDAFS
 	LayerVIA
 	LayerWire
@@ -44,6 +45,8 @@ func (l Layer) String() string {
 	switch l {
 	case LayerMPIIO:
 		return "mpiio"
+	case LayerAggregate:
+		return "aggregate"
 	case LayerDAFS:
 		return "dafs"
 	case LayerVIA:

@@ -188,8 +188,13 @@ func (n *NIC) Provider() *Provider { return n.prov }
 // Kill fail-stops the NIC: from now on it silently discards everything it
 // would transmit or receive, so peers see total silence — in-flight
 // messages lose their acks and outstanding calls surface as timeouts.
-// Dead NICs never revive (fail-stop model).
+// A dead NIC stays dead until Revive (fault.ServerRestart).
 func (n *NIC) Kill() { n.dead = true }
+
+// Revive brings a killed NIC back: it transmits and receives again from
+// now on. Everything discarded while dead is gone for good — the restart
+// model is a power cycle, not a replay.
+func (n *NIC) Revive() { n.dead = false }
 
 // Dead reports whether the NIC has been killed.
 func (n *NIC) Dead() bool { return n.dead }
