@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint fmt faults t17 all
+.PHONY: build test race lint fmt faults t17 bench all
 
 all: build test race lint faults
 
@@ -39,6 +39,12 @@ t17:
 	$(GO) test ./internal/aggregate/
 	$(GO) test -run 'TestStriped.*Batch|TestStripedWidth1' ./internal/mpiio/
 	$(GO) test -run 'TestT17' ./internal/bench/
+
+# bench measures the simulator kernel on the 10k-proc synthetic load and
+# verifies the run against the committed BENCH_simkernel.json (exact
+# determinism, events/sec within 20%).
+bench:
+	$(GO) run ./cmd/simbench -check BENCH_simkernel.json -tolerance 0.20
 
 fmt:
 	gofmt -s -w .

@@ -1,0 +1,187 @@
+// Command simbench measures the simulator kernel itself: it drives the
+// synthetic 10k-proc / 100-server load from internal/bench (pure
+// internal/sim traffic — channels, futures, spawn churn, timers across
+// every queue horizon) and reports kernel throughput in real terms:
+// events/sec, wall-clock per simulated second, and bytes/allocs per
+// event. The numbers land in BENCH_simkernel.json so the kernel's perf
+// trajectory is tracked across PRs; CI fails if events/sec regresses
+// more than 20% against the committed file.
+//
+// Usage:
+//
+//	simbench                   # full load, 3 trials, print JSON
+//	simbench -short            # smaller load for CI
+//	simbench -o BENCH_simkernel.json
+//	simbench -check BENCH_simkernel.json -tolerance 0.20
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"dafsio/internal/bench"
+)
+
+// Report is the schema of BENCH_simkernel.json.
+type Report struct {
+	Bench    string  `json:"bench"`
+	Clients  int     `json:"clients"`
+	Servers  int     `json:"servers"`
+	Rounds   int     `json:"rounds"`
+	Events   uint64  `json:"events"`
+	SimSecs  float64 `json:"sim_seconds"`
+	Replies  int64   `json:"replies"`
+	Checksum uint64  `json:"checksum"`
+
+	EventsPerSec   float64 `json:"events_per_sec"`
+	WallPerSimSec  float64 `json:"wall_sec_per_sim_sec"`
+	BytesPerEvent  float64 `json:"bytes_per_event"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+
+	// BaselineEventsPerSec is the pre-refactor (container/heap queue,
+	// goroutine-per-spawn) kernel measured on the same load when the
+	// harness was introduced; SpeedupVsBaseline = EventsPerSec over it.
+	BaselineEventsPerSec float64 `json:"baseline_events_per_sec"`
+	SpeedupVsBaseline    float64 `json:"speedup_vs_baseline"`
+
+	Trials    int    `json:"trials"`
+	GoVersion string `json:"go_version"`
+}
+
+func main() {
+	short := flag.Bool("short", false, "smaller load (CI-sized): 2000 procs x 20 servers")
+	clients := flag.Int("clients", 0, "override client proc count")
+	servers := flag.Int("servers", 0, "override server proc count")
+	rounds := flag.Int("rounds", 0, "override rounds per client")
+	trials := flag.Int("trials", 3, "timed trials; best throughput is reported")
+	out := flag.String("o", "", "write the JSON report to this file")
+	check := flag.String("check", "", "compare against a committed report; exit 1 on regression")
+	tol := flag.Float64("tolerance", 0.20, "allowed events/sec regression fraction for -check")
+	baseline := flag.Float64("baseline", 0, "override the recorded pre-refactor baseline events/sec")
+	flag.Parse()
+	// The kernel's baton-passing dispatch keeps exactly one goroutine
+	// runnable at any instant, so extra Ps have nothing to run: they only
+	// spin and work-steal. A single P makes every baton handoff a direct
+	// same-P switch and keeps the measurement stable across host core
+	// counts.
+	runtime.GOMAXPROCS(1)
+
+	cfg := bench.KernelLoadConfig{Clients: *clients, Servers: *servers, Rounds: *rounds}
+	if *short && *clients == 0 {
+		cfg.Clients, cfg.Servers, cfg.Rounds = 2000, 20, 8
+	}
+	cfg = cfg.WithDefaults()
+
+	// Warmup run: page in code, grow the heap, verify determinism against
+	// the timed trials below.
+	warm := bench.RunKernelLoad(cfg)
+
+	best := Report{Bench: "simkernel", Trials: *trials, GoVersion: runtime.Version()}
+	for t := 0; t < *trials; t++ {
+		rep := runTrial(cfg)
+		if rep.Checksum != warm.Checksum || rep.Events != warm.Events {
+			fmt.Fprintf(os.Stderr, "simbench: nondeterministic load: trial %d events=%d checksum=%x, warmup events=%d checksum=%x\n",
+				t, rep.Events, rep.Checksum, warm.Events, warm.Checksum)
+			os.Exit(1)
+		}
+		if rep.EventsPerSec > best.EventsPerSec {
+			best.Clients, best.Servers, best.Rounds = cfg.Clients, cfg.Servers, cfg.Rounds
+			best.Events, best.SimSecs, best.Replies, best.Checksum = rep.Events, rep.SimSecs, rep.Replies, rep.Checksum
+			best.EventsPerSec, best.WallPerSimSec = rep.EventsPerSec, rep.WallPerSimSec
+			best.BytesPerEvent, best.AllocsPerEvent = rep.BytesPerEvent, rep.AllocsPerEvent
+		}
+	}
+	base := *baseline
+	if base == 0 {
+		base = recordedBaseline
+	}
+	best.BaselineEventsPerSec = base
+	if base > 0 {
+		best.SpeedupVsBaseline = best.EventsPerSec / base
+	}
+
+	buf, err := json.MarshalIndent(&best, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	buf = append(buf, '\n')
+	os.Stdout.Write(buf)
+	if *out != "" {
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *check != "" {
+		if err := checkAgainst(*check, best, *tol); err != nil {
+			fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "simbench: within %.0f%% of committed baseline\n", *tol*100)
+	}
+}
+
+// runTrial runs one timed, allocation-profiled execution of the load.
+func runTrial(cfg bench.KernelLoadConfig) Report {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	t0 := time.Now()
+	res := bench.RunKernelLoad(cfg)
+	wall := time.Since(t0)
+	runtime.ReadMemStats(&after)
+
+	ev := float64(res.Events)
+	rep := Report{
+		Events:   res.Events,
+		SimSecs:  res.SimTime.Seconds(),
+		Replies:  res.Replies,
+		Checksum: res.Checksum,
+	}
+	if wall > 0 {
+		rep.EventsPerSec = ev / wall.Seconds()
+	}
+	if rep.SimSecs > 0 {
+		rep.WallPerSimSec = wall.Seconds() / rep.SimSecs
+	}
+	if ev > 0 {
+		rep.BytesPerEvent = float64(after.TotalAlloc-before.TotalAlloc) / ev
+		rep.AllocsPerEvent = float64(after.Mallocs-before.Mallocs) / ev
+	}
+	return rep
+}
+
+// checkAgainst compares a fresh report with the committed one: same load
+// shape and checksum (determinism), events/sec within the tolerance.
+func checkAgainst(path string, got Report, tol float64) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var want Report
+	if err := json.Unmarshal(buf, &want); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	if want.Clients == got.Clients && want.Servers == got.Servers && want.Rounds == got.Rounds {
+		if want.Checksum != got.Checksum || want.Events != got.Events {
+			return fmt.Errorf("determinism drift vs %s: events %d->%d checksum %x->%x",
+				path, want.Events, got.Events, want.Checksum, got.Checksum)
+		}
+	}
+	floor := want.EventsPerSec * (1 - tol)
+	if got.EventsPerSec < floor {
+		return fmt.Errorf("events/sec regressed: %.0f < %.0f (committed %.0f, tolerance %.0f%%)",
+			got.EventsPerSec, floor, want.EventsPerSec, tol*100)
+	}
+	return nil
+}
+
+// recordedBaseline is the pre-refactor kernel (container/heap event queue,
+// goroutine-per-spawn, closure-per-event) measured on the default
+// 10000x100x10 load on the machine that introduced this harness. It is the
+// denominator of speedup_vs_baseline; override with -baseline.
+const recordedBaseline = 399691

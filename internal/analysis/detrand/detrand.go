@@ -39,17 +39,6 @@ var globalRand = map[string]bool{
 	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
 }
 
-// schedulingSinks are simulator entry points that are order-sensitive:
-// invoking them from inside a randomized map iteration makes event order —
-// and therefore simulated time — differ between runs.
-var schedulingSinks = map[string]bool{
-	"Set": true, "Send": true, "TrySend": true,
-	"Acquire": true, "Release": true,
-	"Spawn": true, "SpawnDaemon": true,
-	"At": true, "After": true,
-	"Add": true, "Done": true, "Wake": true,
-}
-
 // Analyzer is the detrand pass.
 var Analyzer = &analysis.Analyzer{
 	Name: "detrand",
@@ -61,13 +50,20 @@ var Analyzer = &analysis.Analyzer{
 }
 
 func run(pass *analysis.Pass) error {
+	// The scheduling-sink set is derived from the sim package's source (see
+	// sinks.go): every exported mutator that reaches the kernel's scheduling
+	// or wait-list funnels, current as of this lint run.
+	sinks, err := simSinks()
+	if err != nil {
+		return err
+	}
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.SelectorExpr:
 				checkRandUse(pass, n)
 			case *ast.RangeStmt:
-				checkMapRange(pass, n)
+				checkMapRange(pass, n, sinks)
 			}
 			return true
 		})
@@ -92,8 +88,9 @@ func checkRandUse(pass *analysis.Pass, sel *ast.SelectorExpr) {
 }
 
 // checkMapRange flags range-over-map loops whose body feeds output or
-// simulator scheduling.
-func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt) {
+// simulator scheduling. sinks is the derived "Recv.Method" set of
+// order-sensitive sim mutators.
+func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt, sinks map[string]bool) {
 	tv, ok := pass.TypesInfo.Types[rng.X]
 	if !ok {
 		return
@@ -132,8 +129,8 @@ func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt) {
 			return true
 		}
 		switch obj.Pkg().Path() {
-		case "dafsio/internal/sim":
-			if schedulingSinks[obj.Name()] {
+		case simPkgPath:
+			if sinks[recvName(s)+"."+obj.Name()] {
 				reported = true
 				pass.Reportf(rng.Pos(), "map iteration calls sim.%s.%s; wakeup order would follow random map order — sort the keys first", recvName(s), obj.Name())
 				return false

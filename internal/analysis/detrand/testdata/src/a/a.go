@@ -46,6 +46,28 @@ func badMapSched(m map[int]*sim.Future[int]) {
 	}
 }
 
+func badMapRecv(p *sim.Proc, m map[int]*sim.Chan[int]) {
+	for _, c := range m { // want `map iteration calls sim\.Chan\.Recv`
+		_, _ = c.Recv(p)
+	}
+}
+
+func badMapAcquire(p *sim.Proc, m map[string]*sim.Resource) {
+	for _, r := range m { // want `map iteration calls sim\.Resource\.Acquire`
+		r.Acquire(p, 1)
+	}
+}
+
+func goodMapReader(m map[int]*sim.Future[int]) int {
+	n := 0
+	for _, f := range m { // Future.Done is a pure reader: allowed
+		if f.Done() {
+			n++
+		}
+	}
+	return n
+}
+
 func goodSeeded() int {
 	r := rand.New(rand.NewSource(1))
 	return r.Intn(10)

@@ -16,7 +16,15 @@
 //     memory the NIC never pinned;
 //   - descriptors handed to the work-queue entry points (PostSend,
 //     PostRecv, PrepostRecv) are traced: a Region field that is missing,
-//     nil, or locally derived from a forged/nil value is reported.
+//     nil, or locally derived from a forged/nil value is reported;
+//   - via.Region by value in a function signature, struct field, or
+//     short variable declaration is reported. A region copy severs the
+//     tie to the NIC's translation entry, and a value-typed conduit is
+//     exactly how a forged region crosses a package boundary unseen: a
+//     helper `func Dup(r *via.Region) via.Region { return *r }` in
+//     another package contains no literal, no new, and no var spec, yet
+//     hands every caller an untraceable copy. Regions travel as
+//     *via.Region handles, full stop.
 //
 // Together with the type system (Region's fields are unexported) this
 // makes "unregistered buffer on the data path" unrepresentable without a
@@ -75,19 +83,81 @@ func run(pass *analysis.Pass) error {
 				checkSink(pass, f, n, regionType)
 			case *ast.ValueSpec:
 				for _, name := range n.Names {
-					obj := pass.TypesInfo.Defs[name]
-					if obj == nil {
-						continue
-					}
-					if v, ok := obj.(*types.Var); ok && types.Identical(v.Type(), regionType) {
-						pass.Reportf(name.Pos(), "variable of value type via.Region: hold *via.Region handles from the NIC registration API instead")
+					checkValueDef(pass, name, regionType)
+				}
+			case *ast.AssignStmt:
+				if n.Tok == token.DEFINE {
+					for _, l := range n.Lhs {
+						if id, ok := l.(*ast.Ident); ok {
+							checkValueDef(pass, id, regionType)
+						}
 					}
 				}
+			case *ast.FuncType:
+				checkFieldList(pass, n.Params, regionType, "function signature")
+				checkFieldList(pass, n.Results, regionType, "function signature")
+			case *ast.StructType:
+				checkFieldList(pass, n.Fields, regionType, "struct field")
 			}
 			return true
 		})
 	}
 	return nil
+}
+
+// checkValueDef reports a variable definition of value type via.Region.
+func checkValueDef(pass *analysis.Pass, name *ast.Ident, regionType types.Type) {
+	obj := pass.TypesInfo.Defs[name]
+	if obj == nil {
+		return
+	}
+	if v, ok := obj.(*types.Var); ok && types.Identical(v.Type(), regionType) {
+		pass.Reportf(name.Pos(), "variable of value type via.Region: hold *via.Region handles from the NIC registration API instead")
+	}
+}
+
+// checkFieldList reports parameters, results, or struct fields whose type
+// carries via.Region by value — the cross-package conduit for untraceable
+// region copies.
+func checkFieldList(pass *analysis.Pass, fl *ast.FieldList, regionType types.Type, where string) {
+	if fl == nil {
+		return
+	}
+	for _, f := range fl.List {
+		tv, ok := pass.TypesInfo.Types[f.Type]
+		if !ok {
+			continue
+		}
+		if carriesRegionValue(tv.Type, regionType) {
+			pass.Reportf(f.Type.Pos(), "via.Region by value in a %s: a region copy severs NIC provenance — pass *via.Region handles from the registration API", where)
+		}
+	}
+}
+
+// carriesRegionValue reports whether t contains via.Region by value:
+// the type itself, or reachable through slices, arrays, maps, channels, or
+// pointers to those. A *via.Region handle is the sanctioned form and stops
+// the walk; named element types are checked where they are declared.
+func carriesRegionValue(t, regionType types.Type) bool {
+	if types.Identical(t, regionType) {
+		return true
+	}
+	switch u := t.(type) {
+	case *types.Pointer:
+		if types.Identical(u.Elem(), regionType) {
+			return false // *via.Region: the handle regions travel as
+		}
+		return carriesRegionValue(u.Elem(), regionType)
+	case *types.Slice:
+		return carriesRegionValue(u.Elem(), regionType)
+	case *types.Array:
+		return carriesRegionValue(u.Elem(), regionType)
+	case *types.Map:
+		return carriesRegionValue(u.Key(), regionType) || carriesRegionValue(u.Elem(), regionType)
+	case *types.Chan:
+		return carriesRegionValue(u.Elem(), regionType)
+	}
+	return false
 }
 
 // importedVia returns the via *types.Package if pkg imports it.

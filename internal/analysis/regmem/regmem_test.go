@@ -12,6 +12,14 @@ func TestRegmem(t *testing.T) {
 	analysistest.Run(t, regmem.Analyzer, filepath.Join("testdata", "src", "a"))
 }
 
+// TestRegmemCrossPackage covers the value-conduit escape: a helper package
+// that copies regions by value used to be diagnostic-free — the forge
+// surfaced only in its callers, where untrustedOrigin could not see it.
+// The signatures themselves are now the violation.
+func TestRegmemCrossPackage(t *testing.T) {
+	analysistest.Run(t, regmem.Analyzer, filepath.Join("testdata", "src", "b"))
+}
+
 // TestMatch: every package is covered except the via package itself,
 // which implements the registration machinery.
 func TestMatch(t *testing.T) {

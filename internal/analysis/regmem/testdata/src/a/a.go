@@ -33,6 +33,17 @@ func postNilVar(p *sim.Proc, vi *via.VI) {
 	_ = vi.PostSend(p, d)
 }
 
+func postDerefCopy(p *sim.Proc, vi *via.VI, r *via.Region) {
+	// A dereferencing copy severs the tie to the NIC's translation entry;
+	// the short declaration is flagged like a var spec would be.
+	cp := *r // want `variable of value type via\.Region`
+	_ = vi.PostSend(p, &via.Descriptor{Op: via.OpSend, Region: &cp})
+}
+
+func localLaunder(r *via.Region) via.Region { // want `via\.Region by value in a function signature`
+	return *r
+}
+
 func goodRegistered(p *sim.Proc, n *via.NIC, vi *via.VI, buf []byte) {
 	r := n.Register(p, buf)
 	_ = vi.PostRecv(p, &via.Descriptor{Region: r, Len: r.Len()})

@@ -1,0 +1,36 @@
+// Fixture for the regmem cross-package escape: a helper package that
+// launders a via.Region through a value copy. None of these functions
+// contain a composite literal, a new(via.Region), or a var spec — under
+// the construction-only rules this package was diagnostic-free, yet every
+// caller in any other package received an untraceable region copy to take
+// the address of. The value-conduit rules flag the signatures themselves,
+// so the escape is closed at its definition, wherever the helper lives.
+package b
+
+import "dafsio/internal/via"
+
+func Dup(r *via.Region) via.Region { // want `via\.Region by value in a function signature`
+	return *r
+}
+
+func Consume(r via.Region) *via.Region { // want `via\.Region by value in a function signature`
+	return &r
+}
+
+func Batch(rs []*via.Region) []via.Region { // want `via\.Region by value in a function signature`
+	out := make([]via.Region, 0, len(rs))
+	for _, r := range rs {
+		out = append(out, *r)
+	}
+	return out
+}
+
+type carrier struct {
+	reg via.Region // want `via\.Region by value in a struct field`
+}
+
+func (c *carrier) Handle() *via.Region { return &c.reg }
+
+// Good returns the handle unchanged: pointer conduits preserve provenance
+// and stay legal.
+func Good(r *via.Region) *via.Region { return r }

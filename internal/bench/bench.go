@@ -45,6 +45,7 @@ var All = []Experiment{
 	{"T15", "Striped aggregate bandwidth: clients x servers", T15StripedScaling},
 	{"T16", "Failover under a server crash: replication 1 vs 2", T16Failover},
 	{"T17", "Strided collective over striping: aligned domains + batch gather", T17StripedCollective},
+	{"T18", "Wide striped scaling: clients x servers at 10k-proc populations", T18WideStriping},
 }
 
 // ByID finds an experiment.

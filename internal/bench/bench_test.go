@@ -32,8 +32,8 @@ func TestRegistryComplete(t *testing.T) {
 			t.Fatalf("ByID(%s) = nil", e.ID)
 		}
 	}
-	if len(All) != 17 {
-		t.Fatalf("expected 17 experiments, have %d", len(All))
+	if len(All) != 18 {
+		t.Fatalf("expected 18 experiments, have %d", len(All))
 	}
 	if ByID("T99") != nil {
 		t.Fatal("ByID invented an experiment")
@@ -120,6 +120,25 @@ func TestT15Deterministic(t *testing.T) {
 	b := run()
 	if a != b {
 		t.Fatalf("T15 not deterministic:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestT18WideShape holds the wide grid (T15 at 10k-proc populations) to
+// the same discipline at a cheap point: two runs of a 16x16 cell must
+// agree exactly, and (full mode) 64 servers must clearly beat 16 at 64
+// clients — the whole reason to go wide.
+func TestT18WideShape(t *testing.T) {
+	a := t18Point(16, 16, false)
+	if b := t18Point(16, 16, false); a != b {
+		t.Fatalf("T18 point not deterministic: %v vs %v", a, b)
+	}
+	if testing.Short() {
+		t.Skip("wide T18 points in -short mode")
+	}
+	narrow := t18Point(64, 16, false)
+	wide := t18Point(64, 64, false)
+	if wide < 1.5*narrow {
+		t.Errorf("wide striping does not scale: 16 servers %.1f MB/s, 64 servers %.1f MB/s (< 1.5x)", narrow, wide)
 	}
 }
 

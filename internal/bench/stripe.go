@@ -66,13 +66,20 @@ func stripePoint(n, s int, write bool) float64 {
 // stripeRun is stripePoint with optional tracing; it returns the bandwidth,
 // the measured window, and the tracer (nil when traced is false).
 func stripeRun(n, s int, write, traced bool) (float64, sim.Time, sim.Time, *trace.Tracer) {
+	return stripeRunN(n, s, stripePer, write, traced)
+}
+
+// stripeRunN is stripeRun with the per-client volume as a parameter, so the
+// wide T18 grid (hundreds of clients) can move less data per client than
+// T15's 4MB without disturbing T15's recorded numbers.
+func stripeRunN(n, s int, per int64, write, traced bool) (float64, sim.Time, sim.Time, *trace.Tracer) {
 	st := layout.Striping{StripeSize: stripeSize, Width: s}
 	cfg := cluster.Config{Clients: n, Servers: s, DAFS: true}
 	if traced {
 		cfg.Tracer = trace.New
 	}
 	c := cluster.New(cfg)
-	total := int64(n) * stripePer
+	total := int64(n) * per
 	if write {
 		prefillStriped(c, "striped", 0, st) // create empty stripe objects
 	} else {
@@ -87,7 +94,7 @@ func stripeRun(n, s int, write, traced bool) (float64, sim.Time, sim.Time, *trac
 		}
 		f, _ := openDafsStriped(p, c, i, st, "striped", mode)
 		buf := make([]byte, stripeChunk)
-		base := int64(i) * stripePer
+		base := int64(i) * per
 		// Warm the registration cache and per-server handles.
 		if write {
 			f.WriteAt(p, base, buf)
@@ -99,7 +106,7 @@ func stripeRun(n, s int, write, traced bool) (float64, sim.Time, sim.Time, *trac
 		if start == 0 {
 			start = p.Now()
 		}
-		for off := int64(0); off < stripePer; off += stripeChunk {
+		for off := int64(0); off < per; off += stripeChunk {
 			var err error
 			if write {
 				_, err = f.WriteAt(p, base+off, buf)

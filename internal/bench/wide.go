@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"dafsio/internal/stats"
+)
+
+// T18 parameters: the T15 architecture pushed two orders of magnitude
+// wider. Each client moves 1MB (T15 moves 4MB) so the top point — 512
+// clients x 64 servers, 32768 dialed sessions, >10k simultaneously live
+// procs — regenerates in seconds; the request and stripe sizes stay
+// T15's, so the curves join up.
+const t18Per = 1 << 20
+
+// t18Point is one cell of the wide grid.
+func t18Point(n, s int, write bool) float64 {
+	bw, _, _, _ := stripeRunN(n, s, t18Per, write, false)
+	return bw
+}
+
+// T18WideStriping extends T15's scaling curve to 64 servers and 512
+// clients — the population the pre-refactor kernel could not turn around
+// interactively (one goroutine per spawned proc, one heap allocation per
+// event). The shape to expect: with 64KB stripes a 256KB request still
+// touches only 4 consecutive servers, so per-request parallelism is
+// T15's; scale comes from hundreds of clients whose stripe phases spread
+// uniformly, multiplying the aggregate ceiling roughly with the server
+// count until client links or server NICs saturate.
+func T18WideStriping() *stats.Table {
+	t := &stats.Table{
+		ID:    "T18",
+		Title: "Wide striped scaling: clients x servers at 10k-proc populations (256KB requests, 64KB stripes, 1MB/client)",
+		Note: "T15's grid two orders of magnitude wider; every client dials every server (512x64 = 32768 sessions at the top point).\n" +
+			"a 256KB request still spans 4 stripes, so aggregate bandwidth scales with client spread across servers, not request fan-out",
+		Columns: []string{"clients", "16-srv rd", "64-srv rd", "64-srv wr"},
+	}
+	for _, n := range []int{64, 128, 256, 512} {
+		t.AddRow(
+			itoa(n),
+			stats.BW(t18Point(n, 16, false)),
+			stats.BW(t18Point(n, 64, false)),
+			stats.BW(t18Point(n, 64, true)),
+		)
+	}
+	return t
+}

@@ -110,6 +110,11 @@ type Client struct {
 	maxInline int
 	slotSize  int
 
+	// freeExpire pools per-call deadline timers: each carries a reusable
+	// kernel event bound once to its own fire action, so arming a call
+	// timeout allocates nothing in steady state.
+	freeExpire *expireTimer
+
 	tr          *trace.Tracer
 	traceServer int // server index stamped on request spans (-1: untagged)
 
@@ -340,13 +345,39 @@ func (c *Client) start(p *sim.Proc, proc Proc, enc func(w *wr)) (*Call, error) {
 		return nil, err
 	}
 	if c.opts.CallTimeout > 0 {
-		// Arm the per-call deadline. The closure runs in kernel context at
+		// Arm the per-call deadline. The timer fires in kernel context at
 		// the deadline; if the response has arrived by then the call is no
 		// longer pending and the timer is a no-op.
-		c.k.After(c.opts.CallTimeout, func() { c.expire(xid) })
+		t := c.freeExpire
+		if t != nil {
+			c.freeExpire = t.next
+			t.next = nil
+		} else {
+			t = &expireTimer{c: c}
+			t.ev = c.k.NewEvent(t.fire)
+		}
+		t.xid = xid
+		c.k.AfterEvent(t.ev, c.opts.CallTimeout)
 	}
 	c.stats.Ops++
 	return call, nil
+}
+
+// expireTimer is a pooled per-call deadline: one reusable kernel event
+// plus the xid it currently guards.
+type expireTimer struct {
+	c    *Client
+	xid  uint32
+	ev   *sim.Event
+	next *expireTimer // free-list link
+}
+
+// fire returns the timer to its client's pool and runs the expiry check.
+func (t *expireTimer) fire() {
+	c, xid := t.c, t.xid
+	t.next = c.freeExpire
+	c.freeExpire = t
+	c.expire(xid)
 }
 
 // expire fails the session when a call outlives Options.CallTimeout. The

@@ -36,9 +36,43 @@ type Fabric struct {
 	Prof  *model.Profile
 	nodes []*Node
 
+	// freeDeliv pools in-flight frame deliveries: each carries a reusable
+	// kernel event bound once to its own deliver action, so the per-frame
+	// wire-latency timer allocates nothing in steady state.
+	freeDeliv *delivery
+
 	// Wire statistics.
 	framesSent int64
 	bytesSent  int64
+}
+
+// delivery is one frame crossing the switch; it is recycled when the frame
+// lands in the destination's receive queue.
+type delivery struct {
+	fab  *Fabric
+	fr   Frame
+	dst  *Node
+	ev   *sim.Event
+	next *delivery // free-list link
+}
+
+// deliver hands the frame to the destination's matching interface and
+// returns the carrier to the pool.
+func (d *delivery) deliver() {
+	fr, dst, f := d.fr, d.dst, d.fab
+	d.fr.Payload = nil // do not retain the payload through the pool
+	d.dst = nil
+	d.next = f.freeDeliv
+	f.freeDeliv = d
+	for _, ifc := range dst.ifaces {
+		if ifc.match(fr.Payload) {
+			if !ifc.q.TrySend(fr) {
+				panic("fabric: unbounded queue refused frame")
+			}
+			return
+		}
+	}
+	// No claimant: dropped on the floor.
 }
 
 // New creates an empty fabric. The profile must be valid.
@@ -133,18 +167,17 @@ func (n *Node) Send(p *sim.Proc, fr Frame) {
 	n.txLink.Use(p, 1, sim.TransferTime(int64(fr.Bytes), f.Prof.LinkBandwidth))
 	f.framesSent++
 	f.bytesSent += int64(fr.Bytes)
-	dst := f.nodes[int(fr.Dst)]
-	f.K.After(f.Prof.WireLatency, func() {
-		for _, ifc := range dst.ifaces {
-			if ifc.match(fr.Payload) {
-				if !ifc.q.TrySend(fr) {
-					panic("fabric: unbounded queue refused frame")
-				}
-				return
-			}
-		}
-		// No claimant: dropped on the floor.
-	})
+	d := f.freeDeliv
+	if d != nil {
+		f.freeDeliv = d.next
+		d.next = nil
+	} else {
+		d = &delivery{fab: f}
+		d.ev = f.K.NewEvent(d.deliver)
+	}
+	d.fr = fr
+	d.dst = f.nodes[int(fr.Dst)]
+	f.K.AfterEvent(d.ev, f.Prof.WireLatency)
 }
 
 // Recv blocks the driver process until a frame for this interface is

@@ -5,14 +5,22 @@ package sim
 // (sends never block). Message transfer itself takes zero virtual time;
 // components model transfer costs explicitly before sending.
 //
+// The buffer is a ring (head/count over a power-of-two slice) and waiters
+// are linked through each Proc's intrusive wnext field, so steady-state
+// send/recv traffic does not allocate or shift slices.
+//
 // Wake discipline: a waiter is popped from its wait list before being woken,
 // so every park has at most one pending wake (see proc.go).
 type Chan[T any] struct {
 	k      *Kernel
-	buf    []T
+	buf    []T // ring storage; len(buf) is a power of two (or 0)
+	head   int
+	count  int
 	cap    int
-	recvrs []*Proc // parked receivers, FIFO
-	sendrs []*Proc // parked senders (bounded channels only), FIFO
+	recvH  *Proc // parked receivers, FIFO
+	recvT  *Proc
+	sendH  *Proc // parked senders (bounded channels only), FIFO
+	sendT  *Proc
 	closed bool
 }
 
@@ -22,10 +30,37 @@ func NewChan[T any](k *Kernel, capacity int) *Chan[T] {
 }
 
 // Len returns the number of buffered messages.
-func (c *Chan[T]) Len() int { return len(c.buf) }
+func (c *Chan[T]) Len() int { return c.count }
 
 // Closed reports whether the channel has been closed.
 func (c *Chan[T]) Closed() bool { return c.closed }
+
+// put appends v to the ring, growing it when full.
+func (c *Chan[T]) put(v T) {
+	if c.count == len(c.buf) {
+		n := len(c.buf) * 2
+		if n == 0 {
+			n = 8
+		}
+		grown := make([]T, n)
+		m := copy(grown, c.buf[c.head:])
+		copy(grown[m:], c.buf[:c.head])
+		c.buf = grown
+		c.head = 0
+	}
+	c.buf[(c.head+c.count)&(len(c.buf)-1)] = v
+	c.count++
+}
+
+// take removes and returns the ring's oldest element.
+func (c *Chan[T]) take() T {
+	var zero T
+	v := c.buf[c.head]
+	c.buf[c.head] = zero
+	c.head = (c.head + 1) & (len(c.buf) - 1)
+	c.count--
+	return v
+}
 
 // Close marks the channel closed and wakes all parked receivers and senders.
 // Further sends panic; receives drain the buffer and then report !ok.
@@ -34,32 +69,36 @@ func (c *Chan[T]) Close() {
 		return
 	}
 	c.closed = true
-	for _, p := range c.recvrs {
+	for {
+		p := popWaiter(&c.recvH, &c.recvT)
+		if p == nil {
+			break
+		}
 		c.k.wake(p)
 	}
-	c.recvrs = nil
-	for _, p := range c.sendrs {
+	for {
+		p := popWaiter(&c.sendH, &c.sendT)
+		if p == nil {
+			break
+		}
 		c.k.wake(p)
 	}
-	c.sendrs = nil
 }
 
 // Send enqueues v, blocking p while a bounded channel is full.
 func (c *Chan[T]) Send(p *Proc, v T) {
-	for c.cap > 0 && len(c.buf) >= c.cap {
+	for c.cap > 0 && c.count >= c.cap {
 		if c.closed {
 			panic("sim: send on closed channel")
 		}
-		c.sendrs = append(c.sendrs, p)
+		pushWaiter(&c.sendH, &c.sendT, p)
 		p.park()
 	}
 	if c.closed {
 		panic("sim: send on closed channel")
 	}
-	c.buf = append(c.buf, v)
-	if len(c.recvrs) > 0 {
-		w := c.recvrs[0]
-		c.recvrs = c.recvrs[1:]
+	c.put(v)
+	if w := popWaiter(&c.recvH, &c.recvT); w != nil {
 		c.k.wake(w)
 	}
 }
@@ -67,13 +106,11 @@ func (c *Chan[T]) Send(p *Proc, v T) {
 // TrySend enqueues v without blocking; it reports false if the channel is
 // full or closed.
 func (c *Chan[T]) TrySend(v T) bool {
-	if c.closed || (c.cap > 0 && len(c.buf) >= c.cap) {
+	if c.closed || (c.cap > 0 && c.count >= c.cap) {
 		return false
 	}
-	c.buf = append(c.buf, v)
-	if len(c.recvrs) > 0 {
-		w := c.recvrs[0]
-		c.recvrs = c.recvrs[1:]
+	c.put(v)
+	if w := popWaiter(&c.recvH, &c.recvT); w != nil {
 		c.k.wake(w)
 	}
 	return true
@@ -82,19 +119,16 @@ func (c *Chan[T]) TrySend(v T) bool {
 // Recv dequeues the oldest message, blocking p while the channel is empty.
 // ok is false only when the channel is closed and drained.
 func (c *Chan[T]) Recv(p *Proc) (v T, ok bool) {
-	for len(c.buf) == 0 && !c.closed {
-		c.recvrs = append(c.recvrs, p)
+	for c.count == 0 && !c.closed {
+		pushWaiter(&c.recvH, &c.recvT, p)
 		p.park()
 	}
-	if len(c.buf) == 0 {
+	if c.count == 0 {
 		var zero T
 		return zero, false
 	}
-	v = c.buf[0]
-	c.buf = c.buf[1:]
-	if len(c.sendrs) > 0 {
-		w := c.sendrs[0]
-		c.sendrs = c.sendrs[1:]
+	v = c.take()
+	if w := popWaiter(&c.sendH, &c.sendT); w != nil {
 		c.k.wake(w)
 	}
 	return v, true
@@ -102,15 +136,12 @@ func (c *Chan[T]) Recv(p *Proc) (v T, ok bool) {
 
 // TryRecv dequeues without blocking; ok is false if nothing is buffered.
 func (c *Chan[T]) TryRecv() (v T, ok bool) {
-	if len(c.buf) == 0 {
+	if c.count == 0 {
 		var zero T
 		return zero, false
 	}
-	v = c.buf[0]
-	c.buf = c.buf[1:]
-	if len(c.sendrs) > 0 {
-		w := c.sendrs[0]
-		c.sendrs = c.sendrs[1:]
+	v = c.take()
+	if w := popWaiter(&c.sendH, &c.sendT); w != nil {
 		c.k.wake(w)
 	}
 	return v, true

@@ -2,11 +2,14 @@ package sim
 
 // Future is a one-shot value that processes can block on, used for
 // completion notification (descriptor done, RPC reply, request finished).
+// Waiters link through their intrusive wnext field, so blocking on a future
+// allocates nothing beyond the future itself.
 type Future[T any] struct {
-	k       *Kernel
-	set     bool
-	val     T
-	waiters []*Proc
+	k     *Kernel
+	set   bool
+	val   T
+	waitH *Proc
+	waitT *Proc
 }
 
 // NewFuture creates an unset future.
@@ -25,16 +28,19 @@ func (f *Future[T]) Set(v T) {
 	}
 	f.set = true
 	f.val = v
-	for _, p := range f.waiters {
+	for {
+		p := popWaiter(&f.waitH, &f.waitT)
+		if p == nil {
+			break
+		}
 		f.k.wake(p)
 	}
-	f.waiters = nil
 }
 
 // Get blocks p until the future resolves and returns the value.
 func (f *Future[T]) Get(p *Proc) T {
 	for !f.set {
-		f.waiters = append(f.waiters, p)
+		pushWaiter(&f.waitH, &f.waitT, p)
 		p.park()
 	}
 	return f.val
@@ -42,9 +48,10 @@ func (f *Future[T]) Get(p *Proc) T {
 
 // WaitGroup counts outstanding work items in virtual time.
 type WaitGroup struct {
-	k       *Kernel
-	n       int
-	waiters []*Proc
+	k     *Kernel
+	n     int
+	waitH *Proc
+	waitT *Proc
 }
 
 // NewWaitGroup creates a WaitGroup with an initial count.
@@ -62,10 +69,13 @@ func (w *WaitGroup) Add(delta int) {
 		panic("sim: negative waitgroup count")
 	}
 	if w.n == 0 {
-		for _, p := range w.waiters {
+		for {
+			p := popWaiter(&w.waitH, &w.waitT)
+			if p == nil {
+				break
+			}
 			w.k.wake(p)
 		}
-		w.waiters = nil
 	}
 }
 
@@ -75,7 +85,7 @@ func (w *WaitGroup) Done() { w.Add(-1) }
 // Wait blocks p until the counter reaches zero.
 func (w *WaitGroup) Wait(p *Proc) {
 	for w.n > 0 {
-		w.waiters = append(w.waiters, p)
+		pushWaiter(&w.waitH, &w.waitT, p)
 		p.park()
 	}
 }

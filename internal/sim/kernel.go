@@ -1,75 +1,138 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 )
 
-// event is a closure scheduled to run at a virtual instant. Events scheduled
-// for the same instant run in the order they were scheduled (seq).
-type event struct {
-	at  Time
-	seq uint64
-	fn  func()
-}
-
-type eventHeap []event
-
-// Len, Less, Swap, Push and Pop implement container/heap.Interface.
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h eventHeap) peek() event   { return h[0] }
-func (h *eventHeap) pop() event   { return heap.Pop(h).(event) }
-func (h *eventHeap) push(e event) { heap.Push(h, e) }
-
 // Kernel owns virtual time and the event queue. The zero value is not
 // usable; create kernels with NewKernel.
+//
+// The event queue is a hierarchical timer wheel (see event.go) ordered by
+// (Time, seq), and dispatch is allocation-free on the hot paths: proc
+// wakeups ride each Proc's intrusive step event, At callbacks recycle
+// kernel-pooled events, and callers with a steady-state timer can hold a
+// reusable event from NewEvent and schedule it with AtEvent/AfterEvent.
+//
+// Control flows by direct handoff ("baton passing"): exactly one goroutine
+// — the kernel's Run caller or one proc — is ever runnable, and whoever
+// holds the baton pops events itself (see dispatch). Callback events run
+// inline on the holder's stack; a proc-step event hands the baton straight
+// to the target proc. A proc event therefore costs one goroutine transfer,
+// not a round trip through a central scheduler goroutine.
 type Kernel struct {
-	now    Time
-	seq    uint64
-	events eventHeap
+	now Time
+	seq uint64
+	q   eventQueue
 
-	// yield is the rendezvous on which the currently running process hands
-	// control back to the kernel goroutine.
-	yield chan struct{}
+	gate chan struct{} // where the baton comes home when dispatch stops
 
-	procs   map[*Proc]struct{} // live (spawned, not finished) processes
-	failure error              // first panic raised inside a process
-	running bool
+	live        []*Proc   // spawned, not finished; index mirrored in Proc.liveIdx
+	freeProcs   []*Proc   // finished Proc records awaiting reuse by Spawn
+	freeWorkers []*worker // parked worker goroutines awaiting a proc to run
+	freeEvents  *Event    // recycled At/After callback events
+
+	limit   Time // RunUntil bound, valid while running
+	limited bool
+
+	failure  error // first panic raised inside a process
+	cbPanic  bool  // a callback panicked; Run re-panics with cbPanicV
+	cbPanicV any
+	running  bool
+	closed   bool
+
+	dispatched uint64 // events executed since creation
 }
 
 // NewKernel returns an empty kernel at virtual time zero.
-func NewKernel() *Kernel {
-	return &Kernel{
-		yield: make(chan struct{}),
-		procs: make(map[*Proc]struct{}),
-	}
-}
+func NewKernel() *Kernel { return &Kernel{gate: make(chan struct{})} }
 
 // Now returns the current virtual time.
 func (k *Kernel) Now() Time { return k.now }
 
-// At schedules fn to run in kernel context at virtual time t. Scheduling in
-// the past panics: the simulation is strictly causal.
-func (k *Kernel) At(t Time, fn func()) {
+// Events returns the number of events the kernel has dispatched since
+// creation — the primary throughput unit reported by cmd/simbench.
+func (k *Kernel) Events() uint64 { return k.dispatched }
+
+// schedule assigns the next sequence number and enqueues e at t. All
+// scheduling funnels through here, so dispatch order is exactly the old
+// heap's (Time, seq) order. Scheduling in the past panics: the simulation
+// is strictly causal.
+func (k *Kernel) schedule(e *Event, t Time) {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
 	}
+	if e.queued {
+		panic("sim: event already scheduled")
+	}
 	k.seq++
-	k.events.push(event{at: t, seq: k.seq, fn: fn})
+	e.at = t
+	e.seq = k.seq
+	e.queued = true
+	k.q.push(e)
+}
+
+// At schedules fn to run in kernel context at virtual time t. The event
+// carrying fn comes from the kernel's free list; only the closure itself
+// may allocate. Callers with a long-lived timer should prefer NewEvent +
+// AtEvent, which allocates once for the event and its action together.
+func (k *Kernel) At(t Time, fn func()) {
+	e := k.freeEvents
+	if e != nil {
+		k.freeEvents = e.next
+		e.next = nil
+	} else {
+		e = &Event{pooled: true}
+	}
+	e.fn = fn
+	k.schedule(e, t)
+}
+
+// Reserve pre-sizes the kernel's internal callback-event pool with n
+// events allocated as one contiguous slab. Models with a large standing
+// population of At/After timers (per-call deadlines across thousands of
+// clients) can reserve their peak up front for one allocation instead of
+// one per event as the pool grows.
+func (k *Kernel) Reserve(n int) {
+	slab := make([]Event, n)
+	for i := range slab {
+		e := &slab[i]
+		e.pooled = true
+		e.next = k.freeEvents
+		k.freeEvents = e
+	}
 }
 
 // After schedules fn to run d from now.
 func (k *Kernel) After(d Time, fn func()) { k.At(k.now+d, fn) }
+
+// NewEvent returns a reusable event that runs fn when dispatched. The
+// caller owns it: schedule with AtEvent/AfterEvent, reuse freely after it
+// fires. This is the allocation-free alternative to At for components
+// that schedule the same action repeatedly (wire delivery, call
+// deadlines, proc wakeups).
+func (k *Kernel) NewEvent(fn func()) *Event {
+	if fn == nil {
+		panic("sim: NewEvent with nil action")
+	}
+	return &Event{fn: fn}
+}
+
+// AtEvent schedules a reusable event at virtual time t. It panics if the
+// event is already scheduled (reuse requires the previous firing to have
+// dispatched) or if t is in the past.
+func (k *Kernel) AtEvent(e *Event, t Time) {
+	if e.fn == nil && e.proc == nil {
+		panic("sim: AtEvent on an event without an action")
+	}
+	if e.pooled {
+		panic("sim: AtEvent on a kernel-pooled event")
+	}
+	k.schedule(e, t)
+}
+
+// AfterEvent schedules a reusable event d from now.
+func (k *Kernel) AfterEvent(e *Event, d Time) { k.AtEvent(e, k.now+d) }
 
 // DeadlockError reports that the event queue drained while simulated
 // processes were still parked on channels, resources, or futures.
@@ -94,21 +157,31 @@ func (k *Kernel) RunUntil(limit Time) error {
 	if k.running {
 		panic("sim: Run called reentrantly")
 	}
+	if k.closed {
+		panic("sim: Run after Shutdown")
+	}
 	k.running = true
 	defer func() { k.running = false }()
-	for len(k.events) > 0 {
-		if limit >= 0 && k.events.peek().at > limit {
-			return nil
-		}
-		ev := k.events.pop()
-		k.now = ev.at
-		ev.fn()
-		if k.failure != nil {
-			return k.failure
-		}
+	k.limit, k.limited = limit, limit >= 0
+	if p := k.dispatch(); p != nil {
+		// Hand the baton to the first proc; it comes home on k.gate when
+		// dispatch stops (queue drained, limit reached, or failure).
+		p.w.gate <- struct{}{}
+		<-k.gate
+	}
+	if k.cbPanic {
+		v := k.cbPanicV
+		k.cbPanic, k.cbPanicV = false, nil
+		panic(v) // propagate a callback panic out of Run, as ever
+	}
+	if k.failure != nil {
+		return k.failure
+	}
+	if k.q.n > 0 {
+		return nil // next event is beyond the limit
 	}
 	var names []string
-	for p := range k.procs {
+	for _, p := range k.live {
 		if !p.daemon {
 			names = append(names, p.Name)
 		}
@@ -120,10 +193,94 @@ func (k *Kernel) RunUntil(limit Time) error {
 	return nil
 }
 
+// dispatch runs the event loop on the calling goroutine — the current baton
+// holder — executing callback events inline until it hits a proc-step
+// event, which it returns for the caller to hand the baton to. It returns
+// nil when the loop must stop: queue empty, next event past the RunUntil
+// limit, a recorded failure, or a callback panic. A nil return obliges a
+// proc caller to send the baton home on k.gate.
+func (k *Kernel) dispatch() *Proc {
+	for k.failure == nil && !k.cbPanic && k.q.n > 0 {
+		ev := k.q.pop(k.limit, k.limited)
+		if ev == nil {
+			return nil
+		}
+		k.now = ev.at
+		k.dispatched++
+		if p := ev.proc; p != nil {
+			if p.w == nil {
+				k.bind(p) // first step: attach a pooled worker goroutine
+			}
+			return p
+		}
+		fn := ev.fn
+		if ev.pooled {
+			// Recycle before running so fn may immediately schedule
+			// another At without growing the pool.
+			ev.fn = nil
+			ev.next = k.freeEvents
+			k.freeEvents = ev
+		}
+		k.runCallback(fn)
+	}
+	return nil
+}
+
+// runCallback executes a callback event, trapping a panic so it does not
+// unwind the (arbitrary) proc goroutine that happens to hold the baton;
+// RunUntil re-raises it on the Run caller's stack.
+func (k *Kernel) runCallback(fn func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			k.cbPanic, k.cbPanicV = true, r
+		}
+	}()
+	fn()
+}
+
 // MustRun runs the simulation and panics on error. Intended for examples and
 // benchmarks where an error indicates a bug in the model.
 func (k *Kernel) MustRun() {
 	if err := k.Run(); err != nil {
 		panic(err)
 	}
+}
+
+// Shutdown reclaims the kernel's pooled worker goroutines: idle workers
+// exit, and parked procs (daemons included) unwind without running further
+// simulation code. It must not be called while Run is executing; after
+// Shutdown the kernel is dead — Run and Spawn panic. Kernels used in
+// loops (benchmark harnesses, repeated experiments) should Shutdown when
+// done so worker goroutines and their stacks are reclaimed; short-lived
+// kernels may skip it, leaking only what the old one-goroutine-per-proc
+// design leaked for parked daemons.
+func (k *Kernel) Shutdown() {
+	if k.running {
+		panic("sim: Shutdown during Run")
+	}
+	if k.closed {
+		return
+	}
+	k.closed = true
+	for _, w := range k.freeWorkers {
+		close(w.gate)
+	}
+	for _, p := range k.live {
+		if p.w != nil {
+			close(p.w.gate)
+		}
+		// Never-started procs have no goroutine to reclaim.
+	}
+	k.freeProcs, k.freeWorkers, k.live = nil, nil, nil
+}
+
+// removeLive swap-removes a finished proc from the live set.
+func (k *Kernel) removeLive(p *Proc) {
+	i := p.liveIdx
+	last := len(k.live) - 1
+	k.live[i] = k.live[last]
+	k.live[i].liveIdx = i
+	k.live[last] = nil
+	k.live = k.live[:last]
+	p.liveIdx = -1
 }

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
 	"runtime/debug"
 )
 
@@ -10,13 +11,39 @@ import (
 // primitives (Wait, channel operations, resource acquires...) from its own
 // goroutine; the kernel enforces single-threaded execution, so no locking is
 // needed anywhere in the simulation.
+//
+// Procs are pooled, and so are the goroutines that run them — separately.
+// A Proc is the simulation-visible identity (name, wait state, its step
+// event in the queue); a worker is a parked goroutine with a rendezvous
+// gate. Spawn only creates the Proc and queues its first step; a worker is
+// bound at first dispatch, and returns to the worker pool when the proc
+// finishes. Goroutine count therefore tracks peak *running* concurrency,
+// not peak *spawned* concurrency: a server fanning out a large backlog of
+// handler procs queues them as cheap Proc records, and a handful of pooled
+// workers drain them.
 type Proc struct {
 	Name string
 
-	k      *Kernel
-	resume chan struct{}
-	done   bool
-	daemon bool
+	k       *Kernel
+	w       *worker       // bound at first dispatch; nil before start and after finish
+	fn      func(p *Proc) // current assignment
+	done    bool
+	daemon  bool
+	liveIdx int // index in k.live; -1 when finished
+
+	// stepEv is the proc's intrusive kernel event: Spawn, Wait, and every
+	// wake schedule it, so stepping a proc never allocates. The park/wake
+	// discipline guarantees at most one pending wake per proc, which is
+	// exactly the one-outstanding-schedule rule events require.
+	stepEv Event
+
+	// Intrusive wait-list link and per-wait state, used by Chan, Resource,
+	// Future, and WaitGroup. A parked proc sits on at most one wait list
+	// at a time, so one set of fields suffices.
+	wnext    *Proc
+	wn       int
+	wsince   Time
+	wgranted bool
 
 	// traceCtx is an opaque correlation id carried by the process for
 	// observability layers (see internal/trace). The kernel never reads
@@ -51,50 +78,153 @@ func (e *procPanic) Error() string {
 
 // Spawn creates a process running fn and schedules it to start at the
 // current virtual time. It may be called from kernel context (before Run)
-// or from another process.
+// or from another process. The Proc record is recycled from the kernel's
+// pool when one is available; no goroutine is involved until the proc's
+// first step dispatches (see Kernel.bind).
 func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
-	p := &Proc{Name: name, k: k, resume: make(chan struct{})}
-	k.procs[p] = struct{}{}
-	go func() {
-		<-p.resume // wait for the kernel to give us our first time slice
-		defer func() {
-			if r := recover(); r != nil {
-				if k.failure == nil {
-					k.failure = &procPanic{proc: name, value: r, stack: debug.Stack()}
-				}
-			}
-			p.done = true
-			delete(k.procs, p)
-			k.yield <- struct{}{} // final handoff back to the kernel
-		}()
-		fn(p)
-	}()
-	k.At(k.now, func() { k.step(p) })
+	if k.closed {
+		panic("sim: Spawn after Shutdown")
+	}
+	var p *Proc
+	if n := len(k.freeProcs); n > 0 {
+		p = k.freeProcs[n-1]
+		k.freeProcs[n-1] = nil
+		k.freeProcs = k.freeProcs[:n-1]
+		p.done = false
+		p.daemon = false
+		p.traceCtx = 0
+	} else {
+		p = &Proc{k: k}
+		p.stepEv.proc = p
+	}
+	p.Name = name
+	p.fn = fn
+	p.liveIdx = len(k.live)
+	k.live = append(k.live, p)
+	k.schedule(&p.stepEv, k.now)
 	return p
 }
 
-// step transfers control to p and blocks (the kernel or calling context)
-// until p blocks again or finishes. It runs in kernel context.
-func (k *Kernel) step(p *Proc) {
-	if p.done {
-		return
+// worker is a pooled goroutine that executes procs. It rendezvouses on its
+// gate: whoever holds the kernel baton sends to hand it over, and Shutdown
+// closes it to reclaim the goroutine.
+type worker struct {
+	gate chan struct{}
+	p    *Proc // currently bound proc, nil while in the free pool
+}
+
+// bind attaches a worker to a proc whose first step is dispatching,
+// preferring a pooled worker (LIFO, so the worker that just finished a
+// proc — whose stack is hottest — picks up the next one).
+func (k *Kernel) bind(p *Proc) {
+	var w *worker
+	if n := len(k.freeWorkers); n > 0 {
+		w = k.freeWorkers[n-1]
+		k.freeWorkers[n-1] = nil
+		k.freeWorkers = k.freeWorkers[:n-1]
+	} else {
+		w = &worker{gate: make(chan struct{})}
+		go w.loop(k)
 	}
-	p.resume <- struct{}{}
-	<-k.yield
+	w.p = p
+	p.w = w
+}
+
+// SpawnDaemon starts a process that is expected to park forever (a server
+// loop). Daemons are excluded from deadlock detection: a run in which only
+// daemons remain parked terminates normally.
+func (k *Kernel) SpawnDaemon(name string, fn func(p *Proc)) *Proc {
+	p := k.Spawn(name, fn)
+	p.daemon = true
+	return p
+}
+
+// loop is the worker goroutine: wait for a proc assignment, run it, return
+// proc and worker to their pools, continue dispatching (the finishing
+// worker holds the baton), repeat. It exits when Shutdown closes the gate.
+func (w *worker) loop(k *Kernel) {
+	assigned := false // baton already ours: run the new assignment directly
+	for {
+		if !assigned {
+			if _, ok := <-w.gate; !ok {
+				return // Shutdown reclaimed an idle worker
+			}
+		}
+		w.exec(k)
+		if k.closed {
+			return
+		}
+		// Rejoin the pools first: only this goroutine is runnable, so the
+		// appends are ordered, and the dispatch below may immediately bind
+		// this worker to the next proc — in which case it hands it right
+		// back (the q.w == w fast path: no goroutine switch at all).
+		p := w.p
+		w.p = nil
+		p.w = nil
+		k.freeProcs = append(k.freeProcs, p)
+		k.freeWorkers = append(k.freeWorkers, w)
+		q := k.dispatch()
+		if q != nil && q.w == w {
+			assigned = true
+			continue
+		}
+		assigned = false
+		if q != nil {
+			q.w.gate <- struct{}{}
+		} else {
+			k.gate <- struct{}{}
+		}
+	}
+}
+
+// exec runs one assignment to completion, converting a panic into the
+// kernel's failure and retiring the proc from the live set.
+func (w *worker) exec(k *Kernel) {
+	p := w.p
+	defer func() {
+		r := recover()
+		if k.closed {
+			return // Shutdown unwound us mid-park; kernel state is dead
+		}
+		if r != nil && k.failure == nil {
+			k.failure = &procPanic{proc: p.Name, value: r, stack: debug.Stack()}
+		}
+		p.done = true
+		p.fn = nil
+		k.removeLive(p)
+	}()
+	p.fn(p)
 }
 
 // park blocks the process until another component wakes it via k.wake. The
 // caller must have registered itself with whoever will perform the wake.
+// The parking proc holds the baton, so it keeps dispatching: if its own
+// wake is the very next event it simply continues; otherwise it hands the
+// baton to the next proc (or home to the kernel) and sleeps on its gate.
 func (p *Proc) park() {
-	p.k.yield <- struct{}{}
-	<-p.resume
+	k := p.k
+	q := k.dispatch()
+	if q == p {
+		return // our own wake was next: no handoff needed
+	}
+	if q != nil {
+		q.w.gate <- struct{}{}
+	} else {
+		k.gate <- struct{}{}
+	}
+	if _, ok := <-p.w.gate; !ok || k.closed {
+		// Shutdown: unwind the proc without running more simulation code.
+		// exec's deferred cleanup sees k.closed and leaves kernel state
+		// alone; the worker goroutine exits.
+		runtime.Goexit()
+	}
 }
 
 // wake schedules p to continue at the current virtual time. It must be
 // called for a process that is parked (or about to park); the FIFO event
 // queue makes the wake order deterministic.
 func (k *Kernel) wake(p *Proc) {
-	k.At(k.now, func() { k.step(p) })
+	k.schedule(&p.stepEv, k.now)
 }
 
 // Kernel returns the kernel this process belongs to.
@@ -111,7 +241,7 @@ func (p *Proc) Wait(d Time) {
 		d = 0
 	}
 	k := p.k
-	k.At(k.now+d, func() { k.step(p) })
+	k.schedule(&p.stepEv, k.now+d)
 	p.park()
 }
 
@@ -129,11 +259,32 @@ func (p *Proc) Spawn(name string, fn func(p *Proc)) *Proc {
 	return p.k.Spawn(name, fn)
 }
 
-// SpawnDaemon starts a process that is expected to park forever (a server
-// loop). Daemons are excluded from deadlock detection: a run in which only
-// daemons remain parked terminates normally.
-func (k *Kernel) SpawnDaemon(name string, fn func(p *Proc)) *Proc {
-	p := k.Spawn(name, fn)
-	p.daemon = true
+// Wait lists: procs are linked through their intrusive wnext field. A
+// proc is on at most one list at a time (it is parked on whatever it
+// waits for), so the synchronization primitives enqueue waiters without
+// allocating.
+
+// pushWaiter appends p to the FIFO list (head, tail).
+func pushWaiter(head, tail **Proc, p *Proc) {
+	p.wnext = nil
+	if *tail == nil {
+		*head, *tail = p, p
+		return
+	}
+	(*tail).wnext = p
+	*tail = p
+}
+
+// popWaiter removes and returns the FIFO head, or nil.
+func popWaiter(head, tail **Proc) *Proc {
+	p := *head
+	if p == nil {
+		return nil
+	}
+	*head = p.wnext
+	if *head == nil {
+		*tail = nil
+	}
+	p.wnext = nil
 	return p
 }

@@ -5,13 +5,19 @@ package sim
 // occupancy and queue depth over time so experiments can report utilization
 // (e.g. client CPU busy fraction, the paper's key DAFS-vs-NFS metric) and
 // queueing delay.
+//
+// Waiters queue on the intrusive list through each Proc's wnext link; the
+// requested unit count, enqueue time, and grant flag live in the Proc's
+// reusable wait fields, so a contended Acquire does not allocate.
 type Resource struct {
 	Name string
 
-	k       *Kernel
-	cap     int
-	inUse   int
-	waiters []*resWaiter
+	k     *Kernel
+	cap   int
+	inUse int
+	waitH *Proc // FIFO admission queue
+	waitT *Proc
+	nwait int
 
 	busyInt    float64 // integral of inUse over time, unit-ns
 	qInt       float64 // integral of queue depth over time, waiter-ns
@@ -21,13 +27,6 @@ type Resource struct {
 	acquires int64 // Acquire calls
 	waits    int64 // acquisitions that had to queue
 	waited   Time  // cumulative queue time of granted acquisitions
-}
-
-type resWaiter struct {
-	p       *Proc
-	n       int
-	granted bool
-	since   Time
 }
 
 // NewResource creates a resource with the given capacity (>= 1).
@@ -48,7 +47,7 @@ func (r *Resource) account() {
 	now := r.k.now
 	dt := float64(now - r.lastChange)
 	r.busyInt += float64(r.inUse) * dt
-	r.qInt += float64(len(r.waiters)) * dt
+	r.qInt += float64(r.nwait) * dt
 	r.lastChange = now
 }
 
@@ -60,15 +59,18 @@ func (r *Resource) Acquire(p *Proc, n int) {
 		panic("sim: bad acquire count")
 	}
 	r.acquires++
-	if len(r.waiters) == 0 && r.inUse+n <= r.cap {
+	if r.waitH == nil && r.inUse+n <= r.cap {
 		r.account()
 		r.inUse += n
 		return
 	}
 	r.account()
-	w := &resWaiter{p: p, n: n, since: r.k.now}
-	r.waiters = append(r.waiters, w)
-	for !w.granted {
+	p.wn = n
+	p.wsince = r.k.now
+	p.wgranted = false
+	pushWaiter(&r.waitH, &r.waitT, p)
+	r.nwait++
+	for !p.wgranted {
 		p.park()
 	}
 }
@@ -80,17 +82,17 @@ func (r *Resource) Release(n int) {
 	}
 	r.account()
 	r.inUse -= n
-	for len(r.waiters) > 0 && r.inUse+r.waiters[0].n <= r.cap {
-		w := r.waiters[0]
-		r.waiters = r.waiters[1:]
-		w.granted = true
-		r.inUse += w.n
+	for r.waitH != nil && r.inUse+r.waitH.wn <= r.cap {
+		w := popWaiter(&r.waitH, &r.waitT)
+		r.nwait--
+		w.wgranted = true
+		r.inUse += w.wn
 		r.waits++
 		// Clamp to createdAt so a ResetStats issued while processes were
 		// queued charges only the post-reset share of their wait.
-		since := max(w.since, r.createdAt)
+		since := max(w.wsince, r.createdAt)
 		r.waited += r.k.now - since
-		r.k.wake(w.p)
+		r.k.wake(w)
 	}
 }
 
@@ -132,8 +134,8 @@ func (r *Resource) Waits() int64 { return r.waits }
 // BusyTime counts current holders).
 func (r *Resource) QueueWait() Time {
 	total := r.waited
-	for _, w := range r.waiters {
-		total += r.k.now - max(w.since, r.createdAt)
+	for w := r.waitH; w != nil; w = w.wnext {
+		total += r.k.now - max(w.wsince, r.createdAt)
 	}
 	return total
 }
@@ -145,7 +147,7 @@ func (r *Resource) AvgQueueDepth() float64 {
 	if elapsed <= 0 {
 		return 0
 	}
-	integral := r.qInt + float64(len(r.waiters))*float64(r.k.now-r.lastChange)
+	integral := r.qInt + float64(r.nwait)*float64(r.k.now-r.lastChange)
 	return integral / float64(elapsed)
 }
 
