@@ -6,11 +6,20 @@
 //
 // Passes (each documented in internal/analysis/<name>):
 //
-//	simtime  no wall-clock time inside the simulated stack
-//	detrand  no unseeded/global randomness or order-sensitive map
-//	         iteration in result-producing code
-//	regmem   VIA descriptors only carry NIC-registered memory
-//	errwrap  protocol-layer errors wrap package sentinels (%w)
+//	simtime   no wall-clock time inside the simulated stack
+//	detrand   no unseeded/global randomness or order-sensitive map
+//	          iteration in result-producing code
+//	regmem    VIA descriptors only carry NIC-registered memory
+//	errwrap   protocol-layer errors wrap package sentinels (%w)
+//	blockhold no may-park call while holding a sim.Resource
+//	          (flow-sensitive: CFG + interprocedural may-park set)
+//	pairleak  every acquire (Resource.Acquire, getStage, NIC.Register)
+//	          is released on every path to return
+//
+// A finding that is correct by design — typically a resource handed to a
+// peer proc that releases it — is suppressed at the site with
+// `//mpiolint:ignore <pass> <justification>`; the justification is
+// mandatory and recorded in the source.
 //
 // Exit status is 1 when any diagnostic is reported, 2 on usage or load
 // errors, matching `go vet`.
@@ -22,8 +31,10 @@ import (
 	"os"
 
 	"dafsio/internal/analysis"
+	"dafsio/internal/analysis/blockhold"
 	"dafsio/internal/analysis/detrand"
 	"dafsio/internal/analysis/errwrap"
+	"dafsio/internal/analysis/pairleak"
 	"dafsio/internal/analysis/regmem"
 	"dafsio/internal/analysis/simtime"
 )
@@ -33,6 +44,8 @@ var suite = []*analysis.Analyzer{
 	detrand.Analyzer,
 	regmem.Analyzer,
 	errwrap.Analyzer,
+	blockhold.Analyzer,
+	pairleak.Analyzer,
 }
 
 func main() {

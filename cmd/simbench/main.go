@@ -11,6 +11,7 @@
 //
 //	simbench                   # full load, 3 trials, print JSON
 //	simbench -short            # smaller load for CI
+//	simbench -faults 40        # drop ~1/40 requests: timeout/retry load
 //	simbench -o BENCH_simkernel.json
 //	simbench -check BENCH_simkernel.json -tolerance 0.20
 package main
@@ -32,9 +33,11 @@ type Report struct {
 	Clients  int     `json:"clients"`
 	Servers  int     `json:"servers"`
 	Rounds   int     `json:"rounds"`
+	Faults   int     `json:"faults,omitempty"`
 	Events   uint64  `json:"events"`
 	SimSecs  float64 `json:"sim_seconds"`
 	Replies  int64   `json:"replies"`
+	Timeouts int64   `json:"timeouts,omitempty"`
 	Checksum uint64  `json:"checksum"`
 
 	EventsPerSec   float64 `json:"events_per_sec"`
@@ -57,6 +60,7 @@ func main() {
 	clients := flag.Int("clients", 0, "override client proc count")
 	servers := flag.Int("servers", 0, "override server proc count")
 	rounds := flag.Int("rounds", 0, "override rounds per client")
+	faults := flag.Int("faults", 0, "drop ~1/N requests per server (0: no fault injection)")
 	trials := flag.Int("trials", 3, "timed trials; best throughput is reported")
 	out := flag.String("o", "", "write the JSON report to this file")
 	check := flag.String("check", "", "compare against a committed report; exit 1 on regression")
@@ -70,7 +74,7 @@ func main() {
 	// counts.
 	runtime.GOMAXPROCS(1)
 
-	cfg := bench.KernelLoadConfig{Clients: *clients, Servers: *servers, Rounds: *rounds}
+	cfg := bench.KernelLoadConfig{Clients: *clients, Servers: *servers, Rounds: *rounds, Faults: *faults}
 	if *short && *clients == 0 {
 		cfg.Clients, cfg.Servers, cfg.Rounds = 2000, 20, 8
 	}
@@ -89,8 +93,9 @@ func main() {
 			os.Exit(1)
 		}
 		if rep.EventsPerSec > best.EventsPerSec {
-			best.Clients, best.Servers, best.Rounds = cfg.Clients, cfg.Servers, cfg.Rounds
+			best.Clients, best.Servers, best.Rounds, best.Faults = cfg.Clients, cfg.Servers, cfg.Rounds, cfg.Faults
 			best.Events, best.SimSecs, best.Replies, best.Checksum = rep.Events, rep.SimSecs, rep.Replies, rep.Checksum
+			best.Timeouts = rep.Timeouts
 			best.EventsPerSec, best.WallPerSimSec = rep.EventsPerSec, rep.WallPerSimSec
 			best.BytesPerEvent, best.AllocsPerEvent = rep.BytesPerEvent, rep.AllocsPerEvent
 		}
@@ -140,6 +145,7 @@ func runTrial(cfg bench.KernelLoadConfig) Report {
 		Events:   res.Events,
 		SimSecs:  res.SimTime.Seconds(),
 		Replies:  res.Replies,
+		Timeouts: res.Timeouts,
 		Checksum: res.Checksum,
 	}
 	if wall > 0 {
@@ -166,7 +172,7 @@ func checkAgainst(path string, got Report, tol float64) error {
 	if err := json.Unmarshal(buf, &want); err != nil {
 		return fmt.Errorf("parse %s: %w", path, err)
 	}
-	if want.Clients == got.Clients && want.Servers == got.Servers && want.Rounds == got.Rounds {
+	if want.Clients == got.Clients && want.Servers == got.Servers && want.Rounds == got.Rounds && want.Faults == got.Faults {
 		if want.Checksum != got.Checksum || want.Events != got.Events {
 			return fmt.Errorf("determinism drift vs %s: events %d->%d checksum %x->%x",
 				path, want.Events, got.Events, want.Checksum, got.Checksum)

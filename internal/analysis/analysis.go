@@ -42,7 +42,8 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
-	diags *[]Diagnostic
+	diags   *[]Diagnostic
+	ignored map[ignoreSite]bool
 }
 
 // Diagnostic is one reported violation.
@@ -65,7 +66,9 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 func (p *Pass) PkgPath() string { return p.Pkg.Path() }
 
 // Run applies every analyzer to every package (subject to Analyzer.Match)
-// and returns the diagnostics sorted by file position.
+// and returns the diagnostics sorted by file position. Diagnostics
+// suppressed by an `//mpiolint:ignore` directive are dropped; malformed
+// directives are themselves reported.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
@@ -86,6 +89,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			}
 		}
 	}
+	diags = applyIgnores(pkgs, diags)
 	if len(pkgs) > 0 {
 		fset := pkgs[0].Fset
 		sort.SliceStable(diags, func(i, j int) bool {
@@ -100,6 +104,97 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		})
 	}
 	return diags, nil
+}
+
+// ignorePrefix marks a suppression directive:
+//
+//	//mpiolint:ignore <analyzer> <justification>
+//
+// It silences diagnostics from the named analyzer on the directive's own
+// line, the rest of its comment group, and the line directly below the
+// group — so a directive can trail the flagged statement, or sit above it
+// in a comment block (stacked directives for different analyzers all
+// cover the statement under the block). The justification is mandatory —
+// a suppression with no recorded reason is reported as a violation of
+// its own. Ignores are for invariants deliberately traded away (e.g. a
+// resource acquired here and released by a peer proc under a documented
+// ownership transfer), not for quieting the linter.
+const ignorePrefix = "//mpiolint:ignore"
+
+// ignoreSite is one suppressed (file, line, analyzer) coordinate.
+type ignoreSite struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// ignoreSites collects the coordinates suppressed by well-formed
+// directives in one package, reporting malformed ones through onBad (when
+// non-nil).
+func ignoreSites(pkg *Package, out map[ignoreSite]bool, onBad func(token.Pos)) {
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					if onBad != nil {
+						onBad(c.Pos())
+					}
+					continue
+				}
+				from := pkg.Fset.Position(c.Pos())
+				to := pkg.Fset.Position(cg.End())
+				for line := from.Line; line <= to.Line+1; line++ {
+					out[ignoreSite{from.Filename, line, fields[0]}] = true
+				}
+			}
+		}
+	}
+}
+
+// applyIgnores drops diagnostics covered by well-formed ignore directives
+// and reports malformed ones.
+func applyIgnores(pkgs []*Package, diags []Diagnostic) []Diagnostic {
+	ign := map[ignoreSite]bool{}
+	for _, pkg := range pkgs {
+		ignoreSites(pkg, ign, func(pos token.Pos) {
+			diags = append(diags, Diagnostic{
+				Pos:      pos,
+				Analyzer: "ignore",
+				Message:  "mpiolint:ignore needs an analyzer name and a justification",
+			})
+		})
+	}
+	if len(ign) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		pos := pkgs[0].Fset.Position(d.Pos)
+		if ign[ignoreSite{pos.Filename, pos.Line, d.Analyzer}] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}
+
+// IgnoredAt reports whether a diagnostic from the named analyzer at pos
+// would be suppressed by an ignore directive. Flow-sensitive passes use
+// this to neutralize a hazard at its source — an acquire annotated with
+// `//mpiolint:ignore blockhold <why>` opens no window at all, so one
+// directive on the acquire covers every downstream call in the window.
+func (p *Pass) IgnoredAt(pos token.Pos) bool {
+	if p.ignored == nil {
+		p.ignored = map[ignoreSite]bool{}
+		ignoreSites(&Package{Fset: p.Fset, Files: p.Files}, p.ignored, nil)
+	}
+	at := p.Fset.Position(pos)
+	return p.ignored[ignoreSite{at.Filename, at.Line, p.Analyzer.Name}]
 }
 
 // Format renders a diagnostic the way `go vet` does:

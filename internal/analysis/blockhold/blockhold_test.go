@@ -1,0 +1,13 @@
+package blockhold_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"dafsio/internal/analysis/analysistest"
+	"dafsio/internal/analysis/blockhold"
+)
+
+func TestBlockhold(t *testing.T) {
+	analysistest.Run(t, blockhold.Analyzer, filepath.Join("testdata", "src", "a"))
+}

@@ -1,0 +1,150 @@
+// Fixture for the blockhold pass: may-park calls inside
+// Resource.Acquire/Release windows across branches, loops, defers, early
+// returns, and panic paths.
+package a
+
+import "dafsio/internal/sim"
+
+type node struct {
+	res   *sim.Resource
+	other *sim.Resource
+	ch    *sim.Chan[int]
+}
+
+// Release before blocking: clean.
+func okReleaseFirst(p *sim.Proc, n *node) {
+	n.res.Acquire(p, 1)
+	n.res.Release(1)
+	n.ch.Recv(p)
+}
+
+// Straight-line park inside the window.
+func badParkHeld(p *sim.Proc, n *node) {
+	n.res.Acquire(p, 1)
+	n.ch.Recv(p) // want `sim\.Chan\.Recv may park the proc while holding n\.res`
+	n.res.Release(1)
+}
+
+// A timer wait self-wakes through the event queue: holding across it is
+// the modeled service time (what Resource.Use does), not a hazard.
+func okTimerWaitHeld(p *sim.Proc, n *node) {
+	n.res.Acquire(p, 1)
+	p.Wait(10)
+	n.res.Release(1)
+}
+
+// A deferred release runs at return — the window stays open.
+func badDeferRelease(p *sim.Proc, n *node) {
+	n.res.Acquire(p, 1)
+	defer n.res.Release(1)
+	n.ch.Recv(p) // want `sim\.Chan\.Recv may park the proc while holding n\.res`
+}
+
+// May-held: one branch acquires, the join parks.
+func badBranchHeld(p *sim.Proc, n *node, c bool) {
+	if c {
+		n.res.Acquire(p, 1)
+	}
+	n.ch.Recv(p) // want `sim\.Chan\.Recv may park the proc while holding n\.res`
+	if c {
+		n.res.Release(1)
+	}
+}
+
+// Every path releases before the park, including the early return.
+func okMultiReturn(p *sim.Proc, n *node, c bool) {
+	n.res.Acquire(p, 1)
+	if c {
+		n.res.Release(1)
+		return
+	}
+	n.res.Release(1)
+	n.ch.Recv(p)
+}
+
+// Held on the fall-through path only: the early-return path released.
+func badMultiReturn(p *sim.Proc, n *node, c bool) {
+	n.res.Acquire(p, 1)
+	if c {
+		n.res.Release(1)
+		n.ch.Recv(p)
+		return
+	}
+	n.ch.Recv(p) // want `sim\.Chan\.Recv may park the proc while holding n\.res`
+	n.res.Release(1)
+}
+
+// Loop re-acquire: the back edge carries the held set, so the second
+// iteration acquires while still holding (Acquire itself parks).
+func badLoopReacquire(p *sim.Proc, n *node, k int) {
+	for i := 0; i < k; i++ {
+		n.res.Acquire(p, 1) // want `sim\.Resource\.Acquire may park the proc while holding n\.res`
+	}
+}
+
+// Acquire/release balanced per iteration: clean.
+func okLoopBalanced(p *sim.Proc, n *node, k int) {
+	for i := 0; i < k; i++ {
+		n.res.Acquire(p, 1)
+		n.res.Release(1)
+	}
+}
+
+// The panic path abandons the run; code after it is unreachable, so the
+// only live path releases before parking.
+func okPanicPath(p *sim.Proc, n *node, c bool) {
+	n.res.Acquire(p, 1)
+	if c {
+		panic("boom")
+	}
+	n.res.Release(1)
+	n.ch.Recv(p)
+}
+
+// Nested acquire: taking a second resource while holding the first is a
+// lock-ordering hazard (Acquire may park behind the other's queue).
+func badNestedAcquire(p *sim.Proc, n *node) {
+	n.res.Acquire(p, 1)
+	n.other.Acquire(p, 1) // want `sim\.Resource\.Acquire may park the proc while holding n\.res`
+	n.other.Release(1)
+	n.res.Release(1)
+}
+
+// Interprocedural: the park hides inside a local helper.
+func recvHelper(p *sim.Proc, n *node) {
+	n.ch.Recv(p)
+}
+
+func badViaHelper(p *sim.Proc, n *node) {
+	n.res.Acquire(p, 1)
+	recvHelper(p, n) // want `a\.recvHelper may park the proc while holding n\.res`
+	n.res.Release(1)
+}
+
+// Interprocedural through a sole-assignment closure variable.
+func badViaClosure(p *sim.Proc, n *node) {
+	wait := func() { n.ch.Recv(p) }
+	n.res.Acquire(p, 1)
+	wait() // want `wait may park the proc while holding n\.res`
+	n.res.Release(1)
+}
+
+// A documented ownership transfer: the ignore directive records why the
+// proc may park while holding (a peer releases the units).
+func okIgnored(p *sim.Proc, n *node) {
+	n.res.Acquire(p, 1)
+	//mpiolint:ignore blockhold units are released by the peer that consumes the message
+	n.ch.Recv(p)
+	n.res.Release(1)
+}
+
+// Annotating the acquire itself documents the transfer at its source and
+// opens no window: every downstream park is covered by one directive.
+func okIgnoredAtAcquire(p *sim.Proc, n *node) {
+	// The units are handed to the consumer proc, which releases them on
+	// delivery; this proc may legitimately park on the channel meanwhile.
+	//mpiolint:ignore blockhold units released by the consumer proc on delivery
+	n.res.Acquire(p, 1)
+	n.ch.Recv(p)
+	n.ch.Send(p, 1)
+}

@@ -1,23 +1,10 @@
 package detrand
 
-import (
-	"bytes"
-	"fmt"
-	"go/ast"
-	"go/parser"
-	"go/token"
-	"os"
-	"os/exec"
-	"path/filepath"
-	"sort"
-	"strings"
-	"sync"
-)
+import "dafsio/internal/analysis/callgraph"
 
 // The scheduling-sink set is derived from the sim package's own source, not
 // curated by hand: a sink is any exported function or method whose body
-// transitively (within the package) reaches one of the two order-sensitive
-// funnels —
+// transitively reaches one of the two order-sensitive funnels —
 //
 //   - Kernel.schedule, through which every event-queue insertion flows
 //     (timers, spawns, wakes), so reaching it means the call assigns a
@@ -31,182 +18,16 @@ import (
 // list to forget to update. Sinks are keyed "Recv.Method" (or a bare name
 // for package-level functions) so same-named methods on different types are
 // distinguished — WaitGroup.Done schedules wakes, Future.Done only reads.
+//
+// The derivation itself lives in internal/analysis/callgraph (a typed,
+// module-wide call graph shared with the flow-sensitive passes); this pass
+// predates it and consumes the same set it used to compute syntactically.
 
 // simPkgPath is the package whose mutators are order-sensitive.
-const simPkgPath = "dafsio/internal/sim"
-
-// simSinkCache memoizes the derivation; the sim source is fixed for the
-// lifetime of a lint run.
-var simSinkCache struct {
-	once sync.Once
-	set  map[string]bool
-	err  error
-}
+const simPkgPath = callgraph.SimPkgPath
 
 // simSinks returns the derived scheduling-sink set, keyed by
 // "ReceiverType.Method" for methods and by name for functions.
 func simSinks() (map[string]bool, error) {
-	simSinkCache.once.Do(func() {
-		simSinkCache.set, simSinkCache.err = deriveSinks()
-	})
-	return simSinkCache.set, simSinkCache.err
-}
-
-// deriveSinks locates the sim package's source and computes the sink set.
-func deriveSinks() (map[string]bool, error) {
-	dir, err := simSourceDir()
-	if err != nil {
-		return nil, err
-	}
-	fns, err := parseFuncs(dir)
-	if err != nil {
-		return nil, err
-	}
-	return reachingFuncs(fns), nil
-}
-
-// simSourceDir resolves the sim package's directory through the go tool, so
-// the derivation works from any working directory inside the module (the
-// lint driver and the analyzer's own tests both qualify).
-func simSourceDir() (string, error) {
-	cmd := exec.Command("go", "list", "-f", "{{.Dir}}", simPkgPath)
-	var stderr bytes.Buffer
-	cmd.Stderr = &stderr
-	out, err := cmd.Output()
-	if err != nil {
-		return "", fmt.Errorf("detrand: locating %s: %v\n%s", simPkgPath, err, stderr.Bytes())
-	}
-	return strings.TrimSpace(string(out)), nil
-}
-
-// fn is one function or method of the sim package in the intra-package call
-// graph.
-type fn struct {
-	key      string // "Recv.Name" for methods, "Name" for functions
-	name     string // bare name, the granularity call edges resolve at
-	exported bool   // exported, and on an exported receiver if a method
-	calls    map[string]bool
-}
-
-// parseFuncs parses the package's non-test files and returns its call-graph
-// nodes. Call edges are syntactic and resolve by bare callee name, which
-// over-approximates (a call to any x.Foo() is an edge to every sim function
-// named Foo) — safe for a lint, where over-approximation only widens the
-// sink set within the package's own call structure.
-func parseFuncs(dir string) ([]*fn, error) {
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, fmt.Errorf("detrand: reading %s: %v", dir, err)
-	}
-	fset := token.NewFileSet()
-	var fns []*fn
-	for _, e := range entries {
-		name := e.Name()
-		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
-			continue
-		}
-		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, 0)
-		if err != nil {
-			return nil, fmt.Errorf("detrand: parsing sim source: %v", err)
-		}
-		for _, d := range f.Decls {
-			fd, ok := d.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			fns = append(fns, newFn(fd))
-		}
-	}
-	sort.Slice(fns, func(i, j int) bool { return fns[i].key < fns[j].key })
-	return fns, nil
-}
-
-// newFn builds a call-graph node from a declaration.
-func newFn(fd *ast.FuncDecl) *fn {
-	n := &fn{
-		key:      fd.Name.Name,
-		name:     fd.Name.Name,
-		exported: fd.Name.IsExported(),
-		calls:    map[string]bool{},
-	}
-	if fd.Recv != nil && len(fd.Recv.List) == 1 {
-		recv := recvTypeName(fd.Recv.List[0].Type)
-		n.key = recv + "." + fd.Name.Name
-		n.exported = n.exported && ast.IsExported(recv)
-	}
-	ast.Inspect(fd.Body, func(node ast.Node) bool {
-		call, ok := node.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		switch f := call.Fun.(type) {
-		case *ast.Ident:
-			n.calls[f.Name] = true
-		case *ast.SelectorExpr:
-			n.calls[f.Sel.Name] = true
-		}
-		return true
-	})
-	return n
-}
-
-// recvTypeName unwraps a receiver type expression (*T, T[P], T[P1, P2]) to
-// the named type's identifier.
-func recvTypeName(t ast.Expr) string {
-	for {
-		switch x := t.(type) {
-		case *ast.StarExpr:
-			t = x.X
-		case *ast.IndexExpr:
-			t = x.X
-		case *ast.IndexListExpr:
-			t = x.X
-		case *ast.Ident:
-			return x.Name
-		default:
-			return ""
-		}
-	}
-}
-
-// sinkAnchors are the funnels every order-sensitive mutation flows through.
-var sinkAnchors = map[string]bool{
-	"Kernel.schedule": true, // every event-queue insertion
-	"pushWaiter":      true, // every wait-list (park FIFO) registration
-}
-
-// reachingFuncs runs the transitive-callers fixpoint from the anchors and
-// returns the exported survivors, keyed by qualified name.
-func reachingFuncs(fns []*fn) map[string]bool {
-	marked := map[string]bool{}      // by key
-	markedNames := map[string]bool{} // by bare name, what call edges match
-	for _, f := range fns {
-		if sinkAnchors[f.key] {
-			marked[f.key] = true
-			markedNames[f.name] = true
-		}
-	}
-	for changed := true; changed; {
-		changed = false
-		for _, f := range fns {
-			if marked[f.key] {
-				continue
-			}
-			for callee := range f.calls {
-				if markedNames[callee] {
-					marked[f.key] = true
-					markedNames[f.name] = true
-					changed = true
-					break
-				}
-			}
-		}
-	}
-	sinks := map[string]bool{}
-	for _, f := range fns {
-		if marked[f.key] && f.exported {
-			sinks[f.key] = true
-		}
-	}
-	return sinks
+	return callgraph.SimSinks()
 }

@@ -1,0 +1,13 @@
+package pairleak_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"dafsio/internal/analysis/analysistest"
+	"dafsio/internal/analysis/pairleak"
+)
+
+func TestPairleak(t *testing.T) {
+	analysistest.Run(t, pairleak.Analyzer, filepath.Join("testdata", "src", "a"))
+}

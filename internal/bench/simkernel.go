@@ -20,6 +20,15 @@ type KernelLoadConfig struct {
 	Clients int // client procs issuing requests (default 10000)
 	Servers int // server procs consuming them (default 100)
 	Rounds  int // requests issued per client (default 10)
+
+	// Faults, when positive, makes each server silently drop roughly one
+	// request in Faults (deterministically, by arrival count): no sub-ops
+	// run and no reply is sent, so the issuing client rides its retry
+	// deadline and re-drives the round on another server with a fresh
+	// request generation — the timeout/retry machinery under load.
+	// Zero (the default) disables injection entirely: the load, its event
+	// count, and its checksum are identical to the fault-free benchmark.
+	Faults int
 }
 
 // WithDefaults fills zero fields with the standard 10k-proc load shape.
@@ -42,6 +51,7 @@ type KernelLoadResult struct {
 	Events   uint64   // kernel events dispatched
 	SimTime  sim.Time // final virtual clock
 	Replies  int64    // completed request/reply round trips
+	Timeouts int64    // retry deadlines that fired (0 unless Faults > 0)
 	Checksum uint64   // order+timing digest; equal runs ⇒ equal schedules
 }
 
@@ -49,18 +59,32 @@ type KernelLoadResult struct {
 // and reply channel across all its rounds. A request fans out to
 // kernelStripe sub-ops on the server (mirroring the repo's striped I/O,
 // where one client op becomes one sub-op per stripe server); the last
-// sub-op to finish sends the completion time on reply.
+// sub-op to finish sends the completion time on reply. gen is the
+// request's generation, bumped on every (re)issue: replies and decrements
+// from an older generation — a sub-op that straggled past a retry — are
+// discarded by the guard, the same stale-completion discipline the DAFS
+// client's epoch counters implement.
 type kreq struct {
 	client    int
+	gen       uint64
 	remaining int
-	reply     *sim.Chan[sim.Time]
+	reply     *sim.Chan[kreply]
+}
+
+// kreply is one message on a client's reply channel: the completion time
+// of a request generation, or (fault mode) its retry deadline firing.
+type kreply struct {
+	gen     uint64
+	t       sim.Time
+	timeout bool
 }
 
 // kop is a pooled server sub-op: its proc body is bound once (fn), so
 // spawning a sub-op handler allocates nothing once the per-server pool has
-// warmed up.
+// warmed up. gen snapshots the request generation at dispatch time.
 type kop struct {
 	slow sim.Time
+	gen  uint64
 	req  *kreq
 	fn   func(h *sim.Proc)
 }
@@ -87,6 +111,11 @@ var noopDeadline = func() {}
 // tens of thousands of these are pending at any instant, across several
 // wheel levels.
 var deadlines = []sim.Time{50 * sim.Microsecond, 200 * sim.Microsecond, 1 * sim.Millisecond}
+
+// faultRetryAfter is the real (consequential) per-request deadline armed in
+// fault mode: long past any healthy reply latency, so it fires only for
+// dropped requests.
+const faultRetryAfter = 20 * sim.Microsecond
 
 // RunKernelLoad drives the synthetic load to completion and returns its
 // deterministic result. The topology: Servers daemon procs each draining
@@ -135,12 +164,15 @@ func RunKernelLoad(cfg KernelLoadConfig) KernelLoadResult {
 				if o.slow > 0 {
 					h.Wait(o.slow)
 				}
-				r := o.req
+				r, g := o.req, o.gen
 				o.req = nil
 				ops = append(ops, o)
+				if g != r.gen {
+					return // straggler from a retired generation
+				}
 				r.remaining--
 				if r.remaining == 0 {
-					r.reply.TrySend(h.Now())
+					r.reply.TrySend(kreply{gen: g, t: h.Now()})
 				}
 			}
 			return o
@@ -150,6 +182,13 @@ func RunKernelLoad(cfg KernelLoadConfig) KernelLoadResult {
 				req, ok := q.Recv(p)
 				if !ok {
 					return
+				}
+				// Fault injection: drop the request on the floor — no
+				// sub-ops, no reply — and let the client's retry deadline
+				// re-drive it. The arrival-count rule is deterministic and
+				// staggered per server.
+				if cfg.Faults > 0 && (n+s)%cfg.Faults == 0 {
+					continue
 				}
 				// Most sub-ops hit the fast path and complete without
 				// parking (a cache hit); every seventh request's first
@@ -161,6 +200,7 @@ func RunKernelLoad(cfg KernelLoadConfig) KernelLoadResult {
 				for j := 0; j < kernelStripe; j++ {
 					o := getOp()
 					o.req = req
+					o.gen = req.gen
 					if j == 0 {
 						o.slow = service
 					} else {
@@ -179,23 +219,51 @@ func RunKernelLoad(cfg KernelLoadConfig) KernelLoadResult {
 
 	var (
 		replies  int64
+		timeouts int64
 		checksum uint64
 	)
+	const fnvPrime = 1099511628211
 	for i := 0; i < cfg.Clients; i++ {
 		i := i
-		req := &kreq{client: i, reply: sim.NewChan[sim.Time](k, 0)}
+		req := &kreq{client: i, reply: sim.NewChan[kreply](k, 0)}
 		k.Spawn(fmt.Sprintf("cli%d", i), func(p *sim.Proc) {
 			for r := 0; r < cfg.Rounds; r++ {
-				req.remaining = kernelStripe
-				arm() // client-side call timeout, never hit
-				queues[(i+r)%cfg.Servers].Send(p, req)
-				done, _ := req.reply.Recv(p)
-				replies++
-				// FNV-1a over (client, round, completion time): any
-				// divergence in scheduling order or timing changes it.
-				for _, v := range [3]uint64{uint64(i), uint64(r), uint64(done)} {
-					checksum ^= v
-					checksum *= 1099511628211
+				// Each attempt issues a fresh generation; in fault mode a
+				// consequential retry deadline races the reply, and stale
+				// messages (late timers, straggler completions) are drained
+				// by the generation guard.
+				for attempt := 0; ; attempt++ {
+					req.gen++
+					gen := req.gen
+					req.remaining = kernelStripe
+					arm() // standing no-op deadline, never consequential
+					if cfg.Faults > 0 {
+						k.After(faultRetryAfter, func() {
+							req.reply.TrySend(kreply{gen: gen, timeout: true})
+						})
+					}
+					queues[(i+r+attempt)%cfg.Servers].Send(p, req)
+					rep, _ := req.reply.Recv(p)
+					for rep.gen != gen {
+						rep, _ = req.reply.Recv(p)
+					}
+					if !rep.timeout {
+						replies++
+						// FNV-1a over (client, round, completion time): any
+						// divergence in scheduling order or timing changes it.
+						for _, v := range [3]uint64{uint64(i), uint64(r), uint64(rep.t)} {
+							checksum ^= v
+							checksum *= fnvPrime
+						}
+						break
+					}
+					// Dropped: fold the timeout into the digest and re-drive
+					// the round on the next server.
+					timeouts++
+					for _, v := range [3]uint64{uint64(i), uint64(r), ^uint64(attempt)} {
+						checksum ^= v
+						checksum *= fnvPrime
+					}
 				}
 				p.Wait(thinkTimes[(i+r)%len(thinkTimes)])
 			}
@@ -208,6 +276,7 @@ func RunKernelLoad(cfg KernelLoadConfig) KernelLoadResult {
 		Events:   k.Events(),
 		SimTime:  k.Now(),
 		Replies:  replies,
+		Timeouts: timeouts,
 		Checksum: checksum,
 	}
 }

@@ -1,0 +1,52 @@
+package bench
+
+import "testing"
+
+// kernelTestShape is a small load: big enough that every server drops
+// requests in fault mode and clients span all three think-time scales,
+// small enough to run in a unit test.
+var kernelTestShape = KernelLoadConfig{Clients: 200, Servers: 8, Rounds: 4}
+
+// TestKernelLoadFaultDeterministic: fault injection must be exactly as
+// deterministic as the healthy load — two runs of the same faulty shape
+// produce identical events, checksums, and timeout counts — and it must
+// actually inject: timeouts fire, and the schedule digest diverges from
+// the fault-free run of the same shape.
+func TestKernelLoadFaultDeterministic(t *testing.T) {
+	cfg := kernelTestShape
+	cfg.Faults = 5
+	a := RunKernelLoad(cfg)
+	b := RunKernelLoad(cfg)
+	if a.Events != b.Events || a.Checksum != b.Checksum || a.Timeouts != b.Timeouts {
+		t.Fatalf("fault load nondeterministic: run A events=%d checksum=%x timeouts=%d, run B events=%d checksum=%x timeouts=%d",
+			a.Events, a.Checksum, a.Timeouts, b.Events, b.Checksum, b.Timeouts)
+	}
+	if a.Timeouts == 0 {
+		t.Fatal("Faults=5 load recorded no timeouts; injection is not reaching the clients")
+	}
+	want := int64(kernelTestShape.Clients * kernelTestShape.Rounds)
+	if a.Replies != want {
+		t.Fatalf("replies = %d, want %d (every round must eventually complete despite drops)", a.Replies, want)
+	}
+}
+
+// TestKernelLoadFaultsZeroIsHealthy: Faults=0 must disable injection
+// entirely — no timeouts, and a different digest than the faulty run
+// (drops change the schedule, so equal checksums would mean the
+// injection knob is dead).
+func TestKernelLoadFaultsZeroIsHealthy(t *testing.T) {
+	healthy := RunKernelLoad(kernelTestShape)
+	if healthy.Timeouts != 0 {
+		t.Fatalf("healthy load recorded %d timeouts, want 0", healthy.Timeouts)
+	}
+	want := int64(kernelTestShape.Clients * kernelTestShape.Rounds)
+	if healthy.Replies != want {
+		t.Fatalf("replies = %d, want %d", healthy.Replies, want)
+	}
+	cfg := kernelTestShape
+	cfg.Faults = 5
+	faulty := RunKernelLoad(cfg)
+	if faulty.Checksum == healthy.Checksum {
+		t.Fatal("faulty and healthy loads share a checksum; drops are not perturbing the schedule")
+	}
+}

@@ -105,6 +105,13 @@ type Client struct {
 	credits *sim.Resource
 	reqPool *sim.Chan[*slot]
 
+	// Session-owned registrations backing the request and response slot
+	// pools. Dial tears them down on its error paths and Redial on the
+	// session it replaces; Deregister is idempotent, so a double teardown
+	// (failed dial followed by redial) is harmless.
+	reqReg  *via.Region
+	respReg *via.Region
+
 	pending   map[uint32]*Call
 	nextXID   uint32
 	maxInline int
@@ -155,13 +162,16 @@ func Dial(p *sim.Proc, nic *via.NIC, srv *Server, opts *Options) (*Client, error
 	}
 
 	// Registered message buffers: one pool for requests, one for
-	// responses (pre-posted receives).
-	reqReg := nic.Register(p, make([]byte, o.Credits*c.slotSize))
-	respReg := nic.Register(p, make([]byte, o.Credits*c.slotSize))
+	// responses (pre-posted receives). The session owns both regions; every
+	// error path below must unregister them or the pinned windows leak for
+	// the rest of the run.
+	c.reqReg = nic.Register(p, make([]byte, o.Credits*c.slotSize))
+	c.respReg = nic.Register(p, make([]byte, o.Credits*c.slotSize))
 	for i := 0; i < o.Credits; i++ {
-		c.reqPool.TrySend(&slot{reg: reqReg, off: i * c.slotSize, size: c.slotSize})
-		rs := &slot{reg: respReg, off: i * c.slotSize, size: c.slotSize}
-		if err := c.vi.PostRecv(p, &via.Descriptor{Region: respReg, Offset: rs.off, Len: rs.size, Ctx: rs}); err != nil {
+		c.reqPool.TrySend(&slot{reg: c.reqReg, off: i * c.slotSize, size: c.slotSize})
+		rs := &slot{reg: c.respReg, off: i * c.slotSize, size: c.slotSize}
+		if err := c.vi.PostRecv(p, &via.Descriptor{Region: c.respReg, Offset: rs.off, Len: rs.size, Ctx: rs}); err != nil {
+			c.unregister(p)
 			return nil, err
 		}
 	}
@@ -173,17 +183,33 @@ func Dial(p *sim.Proc, nic *via.NIC, srv *Server, opts *Options) (*Client, error
 		w.U32(uint32(o.MaxInline))
 	})
 	if err != nil {
+		c.unregister(p)
 		return nil, fmt.Errorf("dafs: connect: %w", err)
 	}
 	r := newRd(res.body)
 	gotCredits, gotInline := int(r.U16()), int(r.U32())
 	if r.Err() != nil {
+		c.unregister(p)
 		return nil, r.Err()
 	}
 	if gotCredits != o.Credits || gotInline != o.MaxInline {
+		c.unregister(p)
 		return nil, fmt.Errorf("%w: negotiation mismatch", ErrProto)
 	}
 	return c, nil
+}
+
+// unregister releases the session's message-buffer registrations. Safe to
+// call more than once (Deregister on an invalid region is a no-op);
+// outstanding descriptors over the regions complete with ErrInvalidRegion,
+// which is the intended fate of traffic on a torn-down session.
+func (c *Client) unregister(p *sim.Proc) {
+	if c.reqReg != nil {
+		c.nic.Deregister(p, c.reqReg)
+	}
+	if c.respReg != nil {
+		c.nic.Deregister(p, c.respReg)
+	}
 }
 
 // NIC returns the client's VIA NIC (for registering user buffers used in
@@ -310,6 +336,13 @@ func (c *Client) start(p *sim.Proc, proc Proc, enc func(w *wr)) (*Call, error) {
 	// backpressure shows up as queue time on the operation that suffered it.
 	op := c.tr.BeginTagged(c.node.Name, trace.LayerDAFS, proc.String(), trace.OpID(p.TraceCtx()), 0, c.traceServer)
 	t0 := p.Now()
+	// The credit is the session's flow-control window: held for the whole
+	// request lifetime and released by the dispatch daemon when the
+	// response arrives (or by fail() on session death), never by this
+	// proc — so parking on the slot pool or send queue below cannot
+	// deadlock against the release.
+	//mpiolint:ignore blockhold credit released by the dispatch daemon on response arrival or session failure
+	//mpiolint:ignore pairleak credit released by the dispatch daemon on response arrival or session failure
 	c.credits.Acquire(p, 1)
 	s, _ := c.reqPool.Recv(p)
 	c.tr.Charge(op, trace.CatQueue, p.Now()-t0)
@@ -828,16 +861,19 @@ func (c *Client) Broken() bool { return c.failErr != nil }
 func (c *Client) FailErr() error { return c.failErr }
 
 // Redial establishes a fresh session to the same server with the same
-// options, preserving the trace tag. It does not touch the old session
-// (which is typically already failed). Server-side file handles are
-// store-level, so handles resolved on the old session stay valid on the
-// new one — the property replica failover relies on to resume I/O without
-// re-opening files.
+// options, preserving the trace tag. The old session (typically already
+// failed) keeps its state, but its message-buffer registrations are torn
+// down — the replacement pins its own, and leaving the dead session's
+// windows registered would leak pinned memory once per failover.
+// Server-side file handles are store-level, so handles resolved on the
+// old session stay valid on the new one — the property replica failover
+// relies on to resume I/O without re-opening files.
 func (c *Client) Redial(p *sim.Proc) (*Client, error) {
 	nc, err := Dial(p, c.nic, c.srv, &c.opts)
 	if err != nil {
 		return nil, err
 	}
+	c.unregister(p)
 	nc.traceServer = c.traceServer
 	return nc, nil
 }

@@ -64,6 +64,11 @@ type session struct {
 	maxInline int
 	slotSize  int
 	closed    bool
+
+	// Session-owned registrations backing the request and response slot
+	// pools; accept tears them down if session establishment fails partway.
+	reqReg  *via.Region
+	respReg *via.Region
 }
 
 type srvReq struct {
@@ -168,14 +173,18 @@ func (s *Server) accept(p *sim.Proc, clientVI *via.VI, o Options, slotSize int) 
 		maxInline: o.MaxInline,
 		slotSize:  slotSize,
 	}
-	reqReg := s.nic.Register(p, make([]byte, o.Credits*slotSize))
-	respReg := s.nic.Register(p, make([]byte, o.Credits*slotSize))
+	sess.reqReg = s.nic.Register(p, make([]byte, o.Credits*slotSize))
+	sess.respReg = s.nic.Register(p, make([]byte, o.Credits*slotSize))
 	for i := 0; i < o.Credits; i++ {
-		rs := &slot{reg: reqReg, off: i * slotSize, size: slotSize}
-		if err := vi.PostRecv(p, &via.Descriptor{Region: reqReg, Offset: rs.off, Len: rs.size, Ctx: &recvCtx{sess: sess, s: rs}}); err != nil {
+		rs := &slot{reg: sess.reqReg, off: i * slotSize, size: slotSize}
+		if err := vi.PostRecv(p, &via.Descriptor{Region: sess.reqReg, Offset: rs.off, Len: rs.size, Ctx: &recvCtx{sess: sess, s: rs}}); err != nil {
+			// Session establishment failed partway: the session is never
+			// appended, so nothing else will ever release its registrations.
+			s.nic.Deregister(p, sess.reqReg)
+			s.nic.Deregister(p, sess.respReg)
 			return err
 		}
-		sess.respPool.TrySend(&slot{reg: respReg, off: i * slotSize, size: slotSize})
+		sess.respPool.TrySend(&slot{reg: sess.respReg, off: i * slotSize, size: slotSize})
 	}
 	s.sessions = append(s.sessions, sess)
 	s.stats.Sessions++

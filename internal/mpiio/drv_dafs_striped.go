@@ -54,6 +54,14 @@ type StripedDAFSDriver struct {
 	// Retries counts redial attempts (stat).
 	Retries int64
 
+	// StagePoolMax bounds the registered staging-buffer pool: putStage
+	// trims the pool back to this high-water mark by deregistering and
+	// dropping the smallest buffer. A collective burst can still allocate
+	// past the mark (one buffer per server plan in flight); the bound
+	// caps what stays pinned afterwards. Zero or negative disables
+	// pooling entirely (every putStage deregisters).
+	StagePoolMax int
+
 	down     []bool                  // per server: session currently unusable
 	excluded []bool                  // per server: missed a write, stale for reads
 	gaveUp   []bool                  // per server: recovery exhausted, permanently dead
@@ -76,11 +84,15 @@ func NewStripedDAFSDriver(clients []*dafs.Client, st layout.Striping) *StripedDA
 		DAFSDriver: NewDAFSDriver(clients[0]),
 		clients:    clients,
 		striping:   st,
-		down:       make([]bool, st.Width),
-		excluded:   make([]bool, st.Width),
-		gaveUp:     make([]bool, st.Width),
-		episode:    make([]*sim.Future[struct{}], st.Width),
-		epoch:      make([]int, st.Width),
+		// Two full collective fan-outs' worth of staging windows stay
+		// pinned between operations; anything beyond that is a burst and
+		// is returned to the host at putStage time.
+		StagePoolMax: 2 * st.Width,
+		down:         make([]bool, st.Width),
+		excluded:     make([]bool, st.Width),
+		gaveUp:       make([]bool, st.Width),
+		episode:      make([]*sim.Future[struct{}], st.Width),
+		epoch:        make([]int, st.Width),
 	}
 	for _, c := range clients {
 		if c.NIC() != clients[0].NIC() {

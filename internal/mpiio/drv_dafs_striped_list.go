@@ -54,9 +54,34 @@ func (d *StripedDAFSDriver) getStage(p *sim.Proc, n int64) *stageBuf {
 	return &stageBuf{buf: buf, reg: d.client.NIC().Register(p, buf)}
 }
 
-// putStage returns a staging buffer to the pool, registration intact.
-func (d *StripedDAFSDriver) putStage(sb *stageBuf) {
+// putStage returns a staging buffer to the pool, registration intact —
+// then trims the pool back to the StagePoolMax high-water mark by
+// deregistering and dropping the smallest buffer, so a collective burst
+// does not leave its whole fan-out pinned forever.
+func (d *StripedDAFSDriver) putStage(p *sim.Proc, sb *stageBuf) {
 	d.stagePool = append(d.stagePool, sb)
+	for len(d.stagePool) > d.StagePoolMax {
+		smallest := 0
+		for i, s := range d.stagePool {
+			if len(s.buf) < len(d.stagePool[smallest].buf) {
+				smallest = i
+			}
+		}
+		victim := d.stagePool[smallest]
+		d.stagePool = append(d.stagePool[:smallest], d.stagePool[smallest+1:]...)
+		d.client.NIC().Deregister(p, victim.reg)
+	}
+}
+
+// putStageAll returns a batch's staging buffers to the pool. Every exit
+// path of a striped list operation — issue-time failure or Wait — must
+// come through here (or putStage): a skipped return leaks a pinned,
+// registered window, which is exactly what mpiolint's pairleak pass
+// checks on the acquire side.
+func (d *StripedDAFSDriver) putStageAll(p *sim.Proc, sbs []*stageBuf) {
+	for _, sb := range sbs {
+		d.putStage(p, sb)
+	}
 }
 
 // StartReadList implements ListHandle over the stripe.
@@ -121,12 +146,6 @@ func (h *stripedHandle) startStripedList(p *sim.Proc, segs []Segment, buf []byte
 		endPack()
 	}
 
-	release := func() {
-		for _, sb := range sbs {
-			d.putStage(sb)
-		}
-	}
-
 	if write {
 		ops := make([][]stripedPlanOp, len(plans))
 		for i, pl := range plans {
@@ -153,13 +172,13 @@ func (h *stripedHandle) startStripedList(p *sim.Proc, segs []Segment, buf []byte
 						}
 					}
 					mo.Wait(p)
-					release()
+					d.putStageAll(p, sbs)
 					return nil, err
 				}
 				ops[i][r] = stripedPlanOp{op: mo, c: c, t: t}
 			}
 		}
-		return &stripedListWriteOp{h: h, plans: plans, ops: ops, sbs: sbs, release: release}, nil
+		return &stripedListWriteOp{h: h, plans: plans, ops: ops, sbs: sbs}, nil
 	}
 
 	ops := make([]stripedPlanOp, len(plans))
@@ -183,14 +202,14 @@ func (h *stripedHandle) startStripedList(p *sim.Proc, segs []Segment, buf []byte
 					}
 				}
 				mo.Wait(p)
-				release()
+				d.putStageAll(p, sbs)
 				return nil, err
 			}
 			ops[i] = stripedPlanOp{op: mo, c: c, t: t}
 			break
 		}
 	}
-	return &stripedListReadOp{h: h, plans: plans, ops: ops, stages: stages, sbs: sbs, release: release, buf: buf}, nil
+	return &stripedListReadOp{h: h, plans: plans, ops: ops, stages: stages, sbs: sbs, buf: buf}, nil
 }
 
 // issuePlanBatch chunks one server plan's segment list by the session's
@@ -325,11 +344,10 @@ func (h *stripedHandle) retryPlanRead(p *sim.Proc, pl aggregate.ServerPlan, reg 
 // whose every replica failed go through the synchronous batch-grain
 // failover path.
 type stripedListWriteOp struct {
-	h       *stripedHandle
-	plans   []aggregate.ServerPlan
-	ops     [][]stripedPlanOp
-	sbs     []*stageBuf
-	release func()
+	h     *stripedHandle
+	plans []aggregate.ServerPlan
+	ops   [][]stripedPlanOp
+	sbs   []*stageBuf
 }
 
 // Wait implements AsyncOp.
@@ -378,7 +396,7 @@ func (o *stripedListWriteOp) Wait(p *sim.Proc) (int, error) {
 			d.excluded[t] = true
 		}
 	}
-	o.release()
+	d.putStageAll(p, o.sbs)
 	if firstErr != nil {
 		return 0, firstErr
 	}
@@ -390,13 +408,12 @@ func (o *stripedListWriteOp) Wait(p *sim.Proc) (int, error) {
 // count is the byte sum the servers delivered (batch reads zero-fill EOF
 // holes inside the staging, same as the single-server batch path).
 type stripedListReadOp struct {
-	h       *stripedHandle
-	plans   []aggregate.ServerPlan
-	ops     []stripedPlanOp
-	stages  [][]byte
-	sbs     []*stageBuf
-	release func()
-	buf     []byte
+	h      *stripedHandle
+	plans  []aggregate.ServerPlan
+	ops    []stripedPlanOp
+	stages [][]byte
+	sbs    []*stageBuf
+	buf    []byte
 }
 
 // Wait implements AsyncOp.
@@ -452,7 +469,7 @@ func (o *stripedListReadOp) Wait(p *sim.Proc) (int, error) {
 		node.CopyMem(p, scattered)
 		endScatter()
 	}
-	o.release()
+	d.putStageAll(p, o.sbs)
 	if firstErr != nil {
 		return 0, firstErr
 	}

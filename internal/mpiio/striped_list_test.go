@@ -177,6 +177,71 @@ func TestStripedBatchUnreplicatedCrashFails(t *testing.T) {
 		})
 }
 
+// TestStagePoolBoundedAfterBurst: a burst of concurrent batched list
+// writes allocates one staging buffer per server plan in flight — well
+// past the pool's high-water mark — and every buffer must come back
+// through putStage, which trims the pool to StagePoolMax by
+// deregistering the excess. The pinned-region count on the NIC must match
+// the pool exactly: nothing above the mark stays registered, and nothing
+// in the pool lost its registration.
+func TestStagePoolBoundedAfterBurst(t *testing.T) {
+	const servers, workers = 3, 8
+	const stripe = 4 << 10
+	c := cluster.New(cluster.Config{Clients: 1, Servers: servers, DAFS: true})
+	c.K.Spawn("boss", func(p *sim.Proc) {
+		pool, err := c.DialDAFSAll(p, 0, nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		drv := NewStripedDAFSDriver(pool, layout.Striping{StripeSize: stripe, Width: servers})
+		nic := drv.Clients()[0].NIC()
+		before := nic.Regions()
+		wg := sim.NewWaitGroup(c.K, workers)
+		for w := 0; w < workers; w++ {
+			w := w
+			c.K.Spawn(fmt.Sprintf("burst%d", w), func(p *sim.Proc) {
+				defer wg.Done()
+				f, err := Open(p, nil, drv, fmt.Sprintf("b%d", w), ModeRdWr|ModeCreate, nil)
+				if err != nil {
+					t.Errorf("worker %d: open: %v", w, err)
+					return
+				}
+				f.SetView(0, Vector(32, 512, 2048))
+				data := pattern(32 * 512)
+				if _, err := f.WriteAt(p, 0, data); err != nil {
+					t.Errorf("worker %d: write: %v", w, err)
+				}
+				got := make([]byte, len(data))
+				if _, err := f.ReadAt(p, 0, got); err != nil {
+					t.Errorf("worker %d: read: %v", w, err)
+				}
+				if !bytes.Equal(got, data) {
+					t.Errorf("worker %d: read-back mismatch", w)
+				}
+				f.Close(p)
+			})
+		}
+		wg.Wait(p)
+		if got := len(drv.stagePool); got > drv.StagePoolMax {
+			t.Errorf("stage pool holds %d buffers after burst, high-water mark is %d", got, drv.StagePoolMax)
+		} else if got < drv.StagePoolMax {
+			t.Errorf("stage pool holds %d buffers after burst, want the full %d mark (burst should overfill it)", got, drv.StagePoolMax)
+		}
+		if got, want := nic.Regions()-before, len(drv.stagePool); got != want {
+			t.Errorf("%d staging regions pinned after burst, want %d (one per pooled buffer)", got, want)
+		}
+		for i, sb := range drv.stagePool {
+			if !sb.reg.Valid() {
+				t.Errorf("pooled buffer %d lost its registration", i)
+			}
+		}
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestStripedWidth1BatchEquivalence: at width 1 the striped handle's list
 // path delegates to the single-server batch machinery — same bytes AND the
 // same simulated elapsed time as the plain DAFSDriver.

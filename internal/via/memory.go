@@ -60,6 +60,12 @@ func (n *NIC) DropCached(r *Region) {
 	delete(n.regions, r.Handle)
 }
 
+// Regions returns the number of live registrations on the NIC — pinned
+// windows the host cannot reclaim until they are deregistered. Tests use
+// it to assert registration hygiene: a failed dial, a torn-down session,
+// or a trimmed buffer pool must not leave windows pinned.
+func (n *NIC) Regions() int { return len(n.regions) }
+
 // Len returns the region's size in bytes.
 func (r *Region) Len() int { return len(r.buf) }
 
