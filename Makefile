@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint fmt faults t17 bench all
+.PHONY: build test race lint fmt faults t17 bench stat all
 
 all: build test race lint faults
 
@@ -45,6 +45,13 @@ t17:
 # determinism, events/sec within 20%).
 bench:
 	$(GO) run ./cmd/simbench -check BENCH_simkernel.json -tolerance 0.20
+
+# stat re-runs the T16 failover experiment through the always-on metrics
+# plane: per-interval bandwidth and failover-state series (the kill, the
+# retry spike, the replica exclusion, the recovery) plus the flight
+# recorder's postmortem dumps.
+stat:
+	$(GO) run ./cmd/mpiostat -run T16
 
 fmt:
 	gofmt -s -w .

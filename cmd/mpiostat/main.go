@@ -1,0 +1,125 @@
+// Command mpiostat re-runs one experiment with the always-on metrics
+// plane sampling on an interval of simulated time and renders what it
+// recorded: per-interval bandwidth and failover-state tables, the
+// flight-recorder postmortems that faults dumped, and an optional
+// machine-readable JSON export of every series. Metrics are purely
+// observational — the experiment's numbers are identical with the plane
+// on or off — and everything is recorded on simulated time, so the same
+// invocation writes byte-identical output on every run.
+//
+// Usage:
+//
+//	mpiostat                                 # T16: replicated failover under a crash
+//	mpiostat -run T16 -interval 2ms          # coarser sampling
+//	mpiostat -run T15 -clients 4 -servers 4  # striped write point
+//	mpiostat -run T17 -servers 4             # stripe-aligned collective, width 4
+//	mpiostat -json out.json                  # also export every series + dumps
+//	mpiostat -dumps=false                    # suppress flight-recorder output
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dafsio/internal/bench"
+	"dafsio/internal/metrics"
+	"dafsio/internal/sim"
+)
+
+func main() {
+	run := flag.String("run", "T16", "experiment to sample: T15, T16 or T17")
+	interval := flag.Duration("interval", time.Millisecond, "sampling tick (simulated time)")
+	clients := flag.Int("clients", 4, "client count (T15 only)")
+	servers := flag.Int("servers", 4, "server count (T15); stripe width (T17)")
+	jsonOut := flag.String("json", "", "write the full JSON export here")
+	dumps := flag.Bool("dumps", true, "print flight-recorder postmortems")
+	flag.Parse()
+
+	tick := sim.Time(interval.Nanoseconds())
+	if tick <= 0 {
+		fmt.Fprintln(os.Stderr, "mpiostat: -interval must be positive")
+		os.Exit(1)
+	}
+
+	var r bench.StatResult
+	switch *run {
+	case "T15":
+		if *clients < 1 || *servers < 1 {
+			fmt.Fprintln(os.Stderr, "mpiostat: -clients and -servers must be >= 1")
+			os.Exit(1)
+		}
+		r = bench.StatT15(*clients, *servers, tick)
+	case "T16":
+		r = bench.StatT16(tick)
+	case "T17":
+		if *servers < 1 {
+			fmt.Fprintln(os.Stderr, "mpiostat: -servers must be >= 1")
+			os.Exit(1)
+		}
+		r = bench.StatT17(*servers, tick)
+	default:
+		fmt.Fprintf(os.Stderr, "mpiostat: unknown experiment %q (samplable: T15, T16, T17)\n", *run)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s: %.1f MB/s over %.3f ms simulated, %d samples at %v — %s\n",
+		r.ID, r.MBps, float64(r.End-r.Start)/1e6, r.Reg.Samples(), r.Reg.Tick(), r.Outcome)
+	if r.ID == "T16" && r.Err == nil {
+		fmt.Printf("recovery: %v after the kill, %d redial attempts\n", r.Recovery, r.Retries)
+	}
+	fmt.Println()
+	r.SeriesTable().Fprint(os.Stdout)
+
+	if *dumps {
+		printDumps(r.Reg)
+	}
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mpiostat: %v\n", err)
+			os.Exit(1)
+		}
+		w := bufio.NewWriter(f)
+		if err := r.Reg.WriteJSON(w); err == nil {
+			err = w.Flush()
+		}
+		if err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mpiostat: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "mpiostat: wrote %s\n", *jsonOut)
+	}
+}
+
+// printDumps renders the registry's flight-recorder postmortems: per
+// dumped ring, the reason, the instant, and the ring's surviving events
+// in chronological order.
+func printDumps(reg *metrics.Registry) {
+	ds := reg.Dumps()
+	if len(ds) == 0 {
+		return
+	}
+	fmt.Printf("\nflight recorder: %d dump(s)", len(ds))
+	if n := reg.DroppedDumps(); n > 0 {
+		fmt.Printf(" (+%d dropped)", n)
+	}
+	fmt.Println()
+	for _, d := range ds {
+		fmt.Printf("\n  ring %s at %v — %s (%d events noted, last %d shown)\n",
+			d.Ring, d.At, d.Reason, d.Total, len(d.Events))
+		for _, e := range d.Events {
+			if e.Op != "" {
+				fmt.Printf("    %12v  %-12s %-10s arg=%d aux=%d\n", e.At, e.Kind, e.Op, e.Arg, e.Aux)
+			} else {
+				fmt.Printf("    %12v  %-12s arg=%d aux=%d\n", e.At, e.Kind, e.Arg, e.Aux)
+			}
+		}
+	}
+}

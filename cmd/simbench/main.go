@@ -12,8 +12,17 @@
 //	simbench                   # full load, 3 trials, print JSON
 //	simbench -short            # smaller load for CI
 //	simbench -faults 40        # drop ~1/40 requests: timeout/retry load
+//	simbench -metrics          # sample the kernel gauges every 100us of sim time
 //	simbench -o BENCH_simkernel.json
 //	simbench -check BENCH_simkernel.json -tolerance 0.20
+//
+// With -metrics the run carries the always-on metrics plane: the kernel's
+// own gauges (events dispatched, live procs, pending events) are sampled
+// on a simulated-time tick and their peaks reported. Sampling never
+// changes the schedule — the checksum is identical with it on or off —
+// so -check against a metrics-off report still verifies determinism
+// (checksum only; the tick events themselves grow the event count) and
+// gates the plane's overhead through the events/sec floor.
 package main
 
 import (
@@ -25,6 +34,8 @@ import (
 	"time"
 
 	"dafsio/internal/bench"
+	"dafsio/internal/metrics"
+	"dafsio/internal/sim"
 )
 
 // Report is the schema of BENCH_simkernel.json.
@@ -34,6 +45,7 @@ type Report struct {
 	Servers  int     `json:"servers"`
 	Rounds   int     `json:"rounds"`
 	Faults   int     `json:"faults,omitempty"`
+	Metrics  bool    `json:"metrics,omitempty"`
 	Events   uint64  `json:"events"`
 	SimSecs  float64 `json:"sim_seconds"`
 	Replies  int64   `json:"replies"`
@@ -61,6 +73,7 @@ func main() {
 	servers := flag.Int("servers", 0, "override server proc count")
 	rounds := flag.Int("rounds", 0, "override rounds per client")
 	faults := flag.Int("faults", 0, "drop ~1/N requests per server (0: no fault injection)")
+	withMetrics := flag.Bool("metrics", false, "run with the metrics plane sampling every 100us of simulated time")
 	trials := flag.Int("trials", 3, "timed trials; best throughput is reported")
 	out := flag.String("o", "", "write the JSON report to this file")
 	check := flag.String("check", "", "compare against a committed report; exit 1 on regression")
@@ -78,13 +91,19 @@ func main() {
 	if *short && *clients == 0 {
 		cfg.Clients, cfg.Servers, cfg.Rounds = 2000, 20, 8
 	}
+	if *withMetrics {
+		cfg.MetricsTick = 100 * sim.Microsecond
+	}
 	cfg = cfg.WithDefaults()
 
 	// Warmup run: page in code, grow the heap, verify determinism against
 	// the timed trials below.
 	warm := bench.RunKernelLoad(cfg)
+	if warm.Reg != nil {
+		printGauges(warm.Reg)
+	}
 
-	best := Report{Bench: "simkernel", Trials: *trials, GoVersion: runtime.Version()}
+	best := Report{Bench: "simkernel", Metrics: *withMetrics, Trials: *trials, GoVersion: runtime.Version()}
 	for t := 0; t < *trials; t++ {
 		rep := runTrial(cfg)
 		if rep.Checksum != warm.Checksum || rep.Events != warm.Events {
@@ -161,8 +180,27 @@ func runTrial(cfg bench.KernelLoadConfig) Report {
 	return rep
 }
 
+// printGauges surfaces the kernel gauge series a -metrics run sampled:
+// peaks tell at a glance how deep the event queue and proc population ran.
+func printGauges(reg *metrics.Registry) {
+	peak := func(name string) int64 {
+		var m int64
+		for _, p := range reg.Series(name) {
+			if p.V > m {
+				m = p.V
+			}
+		}
+		return m
+	}
+	fmt.Fprintf(os.Stderr, "simbench: metrics: %d samples at %v; peak pending events %d, peak live procs %d\n",
+		reg.Samples(), reg.Tick(), peak("sim.kernel.pending_events"), peak("sim.kernel.procs_live"))
+}
+
 // checkAgainst compares a fresh report with the committed one: same load
 // shape and checksum (determinism), events/sec within the tolerance.
+// When exactly one of the two runs carried the metrics plane, only the
+// checksum is compared — the sampler's tick events grow the dispatched
+// count but must never change the schedule.
 func checkAgainst(path string, got Report, tol float64) error {
 	buf, err := os.ReadFile(path)
 	if err != nil {
@@ -173,9 +211,13 @@ func checkAgainst(path string, got Report, tol float64) error {
 		return fmt.Errorf("parse %s: %w", path, err)
 	}
 	if want.Clients == got.Clients && want.Servers == got.Servers && want.Rounds == got.Rounds && want.Faults == got.Faults {
-		if want.Checksum != got.Checksum || want.Events != got.Events {
-			return fmt.Errorf("determinism drift vs %s: events %d->%d checksum %x->%x",
-				path, want.Events, got.Events, want.Checksum, got.Checksum)
+		if want.Checksum != got.Checksum {
+			return fmt.Errorf("determinism drift vs %s: checksum %x->%x",
+				path, want.Checksum, got.Checksum)
+		}
+		if want.Metrics == got.Metrics && want.Events != got.Events {
+			return fmt.Errorf("determinism drift vs %s: events %d->%d",
+				path, want.Events, got.Events)
 		}
 	}
 	floor := want.EventsPerSec * (1 - tol)

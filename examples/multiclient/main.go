@@ -19,7 +19,13 @@
 // (R > 1) or fail with "all replicas down" (R == 1). The NFS baseline is
 // never killed.
 //
-// Run with: go run ./examples/multiclient [-servers 4] [-replicas 2] [-kill server1@10ms]
+// With -stats I (a simulated-time interval, e.g. -stats 1ms) the 4-client
+// DAFS point is re-run with the always-on metrics plane sampling every I
+// and the sampled series are printed: per-interval aggregate and
+// per-server bandwidth plus the failover counters, the same table
+// cmd/mpiostat renders for the benchmark experiments.
+//
+// Run with: go run ./examples/multiclient [-servers 4] [-replicas 2] [-kill server1@10ms] [-stats 1ms]
 package main
 
 import (
@@ -32,10 +38,12 @@ import (
 	"strings"
 	"time"
 
+	"dafsio/internal/bench"
 	"dafsio/internal/cluster"
 	"dafsio/internal/dafs"
 	"dafsio/internal/fault"
 	"dafsio/internal/layout"
+	"dafsio/internal/metrics"
 	"dafsio/internal/mpiio"
 	"dafsio/internal/sim"
 	"dafsio/internal/stats"
@@ -81,15 +89,19 @@ func parseKill(s string) (*killSpec, error) {
 // the transfer. A non-nil error means the run failed (e.g. the killed
 // server's stripes had no surviving replica).
 func point(n, servers, replicas int, kill *killSpec, nfsStack bool) (float64, float64, error) {
-	bw, cpu, err, _, _ := pointRun(n, servers, replicas, kill, nfsStack, false)
+	bw, cpu, err, _, _, _ := pointRun(n, servers, replicas, kill, nfsStack, false, 0)
 	return bw, cpu, err
 }
 
-// pointRun is point with optional cross-layer tracing (DAFS runs only).
-func pointRun(n, servers, replicas int, kill *killSpec, nfsStack, traced bool) (float64, float64, error, *trace.Tracer, sim.Time) {
+// pointRun is point with optional cross-layer tracing and metrics
+// sampling on an interval of simulated time (both DAFS runs only).
+func pointRun(n, servers, replicas int, kill *killSpec, nfsStack, traced bool, mtick sim.Time) (float64, float64, error, *trace.Tracer, sim.Time, *metrics.Registry) {
 	cfg := cluster.Config{Clients: n, Servers: servers, DAFS: !nfsStack, NFS: nfsStack}
 	if traced {
 		cfg.Tracer = trace.New
+	}
+	if mtick > 0 && !nfsStack {
+		cfg.Metrics = metrics.Installer(mtick)
 	}
 	if kill != nil && !nfsStack {
 		cfg.Faults = fault.Installer(fault.Plan{Events: []fault.Event{
@@ -185,9 +197,10 @@ func pointRun(n, servers, replicas int, kill *killSpec, nfsStack, traced bool) (
 	if err != nil {
 		log.Fatalf("simulation: %v", err)
 	}
+	c.Metrics.SampleNow() // close the series at the run's final instant
 	for _, e := range errs {
 		if e != nil {
-			return 0, 0, e, c.Tracer, 0
+			return 0, 0, e, c.Tracer, 0, c.Metrics
 		}
 	}
 	// Verify the data landed: each client's file must hold its pattern,
@@ -212,7 +225,7 @@ func pointRun(n, servers, replicas int, kill *killSpec, nfsStack, traced bool) (
 	elapsed := end - start
 	return stats.MBps(int64(n)*perClient, elapsed),
 		float64(c.ServerNode.CPU.BusyTime()-cpu0) / float64(elapsed),
-		nil, c.Tracer, elapsed
+		nil, c.Tracer, elapsed, c.Metrics
 }
 
 func main() {
@@ -220,6 +233,7 @@ func main() {
 	replicas := flag.Int("replicas", 1, "copies of each stripe, write-all/read-any (requires -servers >= replicas)")
 	killFlag := flag.String("kill", "", "fail-stop a node mid-run, as node@time (e.g. server1@10ms); DAFS runs only")
 	traceOut := flag.String("trace", "", "re-run the 4-client DAFS point traced and write a Chrome trace JSON here")
+	statsIv := flag.Duration("stats", 0, "re-run the 4-client DAFS point sampling metrics on this simulated-time interval and print the series")
 	flag.Parse()
 	if *servers < 1 {
 		log.Fatalf("-servers %d: need at least one", *servers)
@@ -260,8 +274,19 @@ func main() {
 	default:
 		fmt.Println("\nDAFS fills the server link at a few percent CPU; NFS saturates the server CPU.")
 	}
+	if *statsIv > 0 {
+		_, _, serr, _, _, reg := pointRun(4, *servers, *replicas, kill, false, false, sim.Time(statsIv.Nanoseconds()))
+		if serr != nil && reg == nil {
+			log.Fatalf("stats: sampled run failed: %v", serr)
+		}
+		fmt.Println()
+		bench.StatResult{ID: "multiclient", Reg: reg}.SeriesTable().Fprint(os.Stdout)
+		if n := len(reg.Dumps()); n > 0 {
+			fmt.Printf("\nflight recorder: %d postmortem dump(s) captured (see cmd/mpiostat for full rendering)\n", n)
+		}
+	}
 	if *traceOut != "" {
-		_, _, terr, tr, elapsed := pointRun(4, *servers, *replicas, kill, false, true)
+		_, _, terr, tr, elapsed, _ := pointRun(4, *servers, *replicas, kill, false, true, 0)
 		if terr != nil {
 			log.Fatalf("trace: traced run failed: %v", terr)
 		}

@@ -51,6 +51,7 @@ var simulatedTree = []string{
 	"dafsio/internal/stats",
 	"dafsio/internal/trace",
 	"dafsio/internal/fault",
+	"dafsio/internal/metrics",
 }
 
 // Analyzer is the simtime pass.

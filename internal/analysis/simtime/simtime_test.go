@@ -30,6 +30,7 @@ func TestMatch(t *testing.T) {
 		"dafsio/internal/mpiio":    true,
 		"dafsio/internal/bench":    true,
 		"dafsio/internal/trace":    true,
+		"dafsio/internal/metrics":  true,
 		"dafsio/cmd/mpiobench":     false,
 		"dafsio/internal/analysis": false,
 	} {

@@ -5,6 +5,7 @@ import (
 
 	"dafsio/internal/cluster"
 	"dafsio/internal/layout"
+	"dafsio/internal/metrics"
 	"dafsio/internal/mpiio"
 	"dafsio/internal/sim"
 	"dafsio/internal/stats"
@@ -22,7 +23,10 @@ import (
 //     batch request per server per replica
 //   - methodTwoPhase: collective two-phase with stripe-aligned file domains
 //     (cb_nodes = width), aggregators batching to their one server
-func t17Run(width int, method collMethod, traced bool) (float64, sim.Time, sim.Time, *trace.Tracer) {
+//
+// A positive mtick installs a metrics registry sampling on that interval;
+// the cluster is returned so callers reach the tracer and the registry.
+func t17Run(width int, method collMethod, traced bool, mtick sim.Time) (float64, sim.Time, sim.Time, *cluster.Cluster) {
 	const (
 		nranks    = 4
 		perRank   = 1 << 20 // 1MB each, 4MB total
@@ -33,6 +37,9 @@ func t17Run(width int, method collMethod, traced bool) (float64, sim.Time, sim.T
 	cfg := cluster.Config{Clients: nranks, Servers: width, DAFS: true, MPI: true}
 	if traced {
 		cfg.Tracer = trace.New
+	}
+	if mtick > 0 {
+		cfg.Metrics = metrics.Installer(mtick)
 	}
 	c := cluster.New(cfg)
 	var start, end sim.Time
@@ -85,12 +92,13 @@ func t17Run(width int, method collMethod, traced bool) (float64, sim.Time, sim.T
 	if err != nil {
 		panic(err)
 	}
-	return stats.MBps(nranks*perRank, end-start), start, end, c.Tracer
+	c.Metrics.SampleNow() // close the series at the run's final instant
+	return stats.MBps(nranks*perRank, end-start), start, end, c
 }
 
 // t17Point is t17Run without tracing.
 func t17Point(width int, method collMethod) float64 {
-	bw, _, _, _ := t17Run(width, method, false)
+	bw, _, _, _ := t17Run(width, method, false, 0)
 	return bw
 }
 

@@ -9,6 +9,7 @@ import (
 	"dafsio/internal/dafs"
 	"dafsio/internal/fault"
 	"dafsio/internal/layout"
+	"dafsio/internal/metrics"
 	"dafsio/internal/mpiio"
 	"dafsio/internal/sim"
 	"dafsio/internal/stats"
@@ -91,6 +92,7 @@ type t16Result struct {
 	Start    sim.Time
 	End      sim.Time
 	Tracer   *trace.Tracer
+	Reg      *metrics.Registry // non-nil when run with a metrics tick
 }
 
 // t16Run is the T16 workload: 4 clients stream disjoint 4MB regions of one
@@ -98,12 +100,17 @@ type t16Result struct {
 // with server1 crashing at t16KillAt, then read their regions back and
 // verify every byte. Client errors are captured, not panicked — the
 // replication-1 kill row is *supposed* to fail with ErrAllReplicasDown.
-func t16Run(replicas int, kill, traced bool) t16Result {
+// A positive mtick additionally installs a metrics registry sampling on
+// that interval (observational: the simulated results are identical).
+func t16Run(replicas int, kill, traced bool, mtick sim.Time) t16Result {
 	const n, s = 4, 4
 	st := layout.Striping{StripeSize: stripeSize, Width: s, Replicas: replicas}
 	cfg := cluster.Config{Clients: n, Servers: s, DAFS: true}
 	if traced {
 		cfg.Tracer = trace.New
+	}
+	if mtick > 0 {
+		cfg.Metrics = metrics.Installer(mtick)
 	}
 	if kill {
 		cfg.Faults = fault.Installer(fault.Plan{Events: []fault.Event{
@@ -113,7 +120,7 @@ func t16Run(replicas int, kill, traced bool) t16Result {
 	c := cluster.New(cfg)
 	prefillReplicated(c, "t16", 0, st) // empty rank objects on every server
 	ready := sim.NewWaitGroup(c.K, n)
-	res := t16Result{Verified: true, Tracer: c.Tracer}
+	res := t16Result{Verified: true, Tracer: c.Tracer, Reg: c.Metrics}
 	firstAfter := make([]sim.Time, n)
 	errs := make([]error, n)
 	err := c.SpawnClients(func(p *sim.Proc, i int) {
@@ -177,6 +184,7 @@ func t16Run(replicas int, kill, traced bool) t16Result {
 	if err != nil {
 		panic(err)
 	}
+	c.Metrics.SampleNow() // close the series at the run's final instant
 	for _, e := range errs {
 		if e != nil {
 			res.Err = e
@@ -222,7 +230,7 @@ func T16Failover() *stats.Table {
 		{"r=1 kill@10ms", 1, true},
 		{"r=2 kill@10ms", 2, true},
 	} {
-		r := t16Run(row.replicas, row.kill, false)
+		r := t16Run(row.replicas, row.kill, false, 0)
 		bw, rec := "-", "-"
 		if r.Err == nil {
 			bw = stats.BW(r.MBps)
@@ -252,7 +260,7 @@ func T16Failover() *stats.Table {
 // 10ms) with tracing — the faulted run the determinism test replays
 // byte-for-byte, retry waits charged to the retry category.
 func TracedT16() TracedResult {
-	r := t16Run(2, true, true)
+	r := t16Run(2, true, true, 0)
 	if r.Err != nil {
 		panic(r.Err)
 	}

@@ -13,8 +13,8 @@ import (
 // 10ms) must reproduce the simulated timeline, byte counts, recovery
 // metrics, and Chrome trace export exactly.
 func TestT16FaultedDeterminism(t *testing.T) {
-	r1 := t16Run(2, true, true)
-	r2 := t16Run(2, true, true)
+	r1 := t16Run(2, true, true, 0)
+	r2 := t16Run(2, true, true, 0)
 	for _, r := range []*t16Result{&r1, &r2} {
 		if r.Err != nil || !r.Verified {
 			t.Fatalf("faulted run did not complete verified: err=%v verified=%v", r.Err, r.Verified)
@@ -42,7 +42,7 @@ func TestT16FaultedDeterminism(t *testing.T) {
 // TestT16TracedMatchesUntraced: fault injection composes with tracing the
 // same way everything else does — observationally.
 func TestT16TracedMatchesUntraced(t *testing.T) {
-	if traced, plain := TracedT16().MBps, t16Run(2, true, false).MBps; traced != plain {
+	if traced, plain := TracedT16().MBps, t16Run(2, true, false, 0).MBps; traced != plain {
 		t.Errorf("T16 bandwidth: traced %v != untraced %v", traced, plain)
 	}
 }
@@ -51,10 +51,10 @@ func TestT16TracedMatchesUntraced(t *testing.T) {
 // the crash is fatal and surfaces as ErrAllReplicasDown; replicated, the
 // run completes with verified data and a positive recovery latency.
 func TestT16Outcomes(t *testing.T) {
-	if r := t16Run(1, true, false); !errors.Is(r.Err, dafs.ErrAllReplicasDown) {
+	if r := t16Run(1, true, false, 0); !errors.Is(r.Err, dafs.ErrAllReplicasDown) {
 		t.Errorf("r=1 kill: err=%v, want ErrAllReplicasDown", r.Err)
 	}
-	r := t16Run(2, true, false)
+	r := t16Run(2, true, false, 0)
 	if r.Err != nil || !r.Verified {
 		t.Fatalf("r=2 kill: err=%v verified=%v, want a verified completion", r.Err, r.Verified)
 	}
@@ -64,7 +64,7 @@ func TestT16Outcomes(t *testing.T) {
 	if r.Retries == 0 {
 		t.Error("r=2 kill: no redial attempts recorded")
 	}
-	healthy := t16Run(2, false, false)
+	healthy := t16Run(2, false, false, 0)
 	if healthy.Err != nil || !healthy.Verified {
 		t.Fatalf("r=2 healthy: err=%v verified=%v", healthy.Err, healthy.Verified)
 	}

@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 
+	"dafsio/internal/metrics"
 	"dafsio/internal/sim"
 )
 
@@ -29,6 +30,13 @@ type KernelLoadConfig struct {
 	// Zero (the default) disables injection entirely: the load, its event
 	// count, and its checksum are identical to the fault-free benchmark.
 	Faults int
+
+	// MetricsTick, when positive, installs a metrics registry sampling the
+	// kernel's own gauges (events dispatched, live procs, pending events)
+	// on that interval of simulated time. Sampling is observational: the
+	// load's timings and checksum are identical with it on or off — only
+	// the dispatched-event count grows by the tick events themselves.
+	MetricsTick sim.Time
 }
 
 // WithDefaults fills zero fields with the standard 10k-proc load shape.
@@ -53,6 +61,8 @@ type KernelLoadResult struct {
 	Replies  int64    // completed request/reply round trips
 	Timeouts int64    // retry deadlines that fired (0 unless Faults > 0)
 	Checksum uint64   // order+timing digest; equal runs ⇒ equal schedules
+
+	Reg *metrics.Registry // non-nil when MetricsTick > 0
 }
 
 // kreq is one client's in-flight request; each client reuses a single kreq
@@ -131,6 +141,11 @@ func RunKernelLoad(cfg KernelLoadConfig) KernelLoadResult {
 	cfg = cfg.WithDefaults()
 	k := sim.NewKernel()
 	defer k.Shutdown()
+	var reg *metrics.Registry
+	if cfg.MetricsTick > 0 {
+		reg = metrics.New(k)
+		reg.StartSampler(cfg.MetricsTick)
+	}
 
 	// Deadline timers ride the kernel's pooled At/After events with a
 	// shared no-op action, and Reserve pre-sizes that pool past the
@@ -272,11 +287,13 @@ func RunKernelLoad(cfg KernelLoadConfig) KernelLoadResult {
 	if err := k.Run(); err != nil {
 		panic(fmt.Sprintf("bench: kernel load failed: %v", err))
 	}
+	reg.SampleNow() // close the series at the final instant (nil-safe)
 	return KernelLoadResult{
 		Events:   k.Events(),
 		SimTime:  k.Now(),
 		Replies:  replies,
 		Timeouts: timeouts,
 		Checksum: checksum,
+		Reg:      reg,
 	}
 }

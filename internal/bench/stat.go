@@ -1,0 +1,163 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"dafsio/internal/metrics"
+	"dafsio/internal/sim"
+	"dafsio/internal/stats"
+)
+
+// StatResult is one experiment run recorded through the always-on metrics
+// plane: the experiment's headline numbers plus the registry holding the
+// sampled time series and any flight-recorder dumps. Metrics are
+// observational, so MBps matches the plain experiment exactly (pinned by
+// TestStatMatchesPlain).
+type StatResult struct {
+	ID    string
+	MBps  float64
+	Start sim.Time
+	End   sim.Time
+	Reg   *metrics.Registry
+
+	// T16 extras (zero for other experiments).
+	Recovery sim.Time
+	Retries  int64
+	Outcome  string
+	Err      error
+}
+
+// StatT15 runs one T15 striped write point with the sampler on.
+func StatT15(clients, servers int, tick sim.Time) StatResult {
+	bw, start, end, c := stripeRunN(clients, servers, stripePer, true, false, tick)
+	return StatResult{ID: "T15", MBps: bw, Start: start, End: end, Reg: c.Metrics, Outcome: "ok"}
+}
+
+// StatT16 runs T16's replicated kill point (r=2, server1 crashing at
+// 10ms) with the sampler on: the sampled series show the bandwidth dip,
+// the retry spike, the replica exclusion, and the recovery, and the crash
+// dumps every flight ring into the registry's postmortem list.
+func StatT16(tick sim.Time) StatResult {
+	r := t16Run(2, true, false, tick)
+	out := "recovered, verified"
+	switch {
+	case r.Err != nil:
+		out = "failed: " + r.Err.Error()
+	case !r.Verified:
+		out = "CORRUPT read-back"
+	}
+	return StatResult{
+		ID: "T16", MBps: r.MBps, Start: r.Start, End: r.End, Reg: r.Reg,
+		Recovery: r.Recovery, Retries: r.Retries, Outcome: out, Err: r.Err,
+	}
+}
+
+// StatT17 runs T17's stripe-aligned two-phase collective write at the
+// given width with the sampler on.
+func StatT17(width int, tick sim.Time) StatResult {
+	bw, start, end, c := t17Run(width, methodTwoPhase, false, tick)
+	return StatResult{ID: "T17", MBps: bw, Start: start, End: end, Reg: c.Metrics, Outcome: "ok"}
+}
+
+// seriesAt indexes a sampled series by instant. Instruments registered
+// after the sampler's first tick (a client dialing at t=0, a driver built
+// mid-run) have shorter series than the kernel's own, so rows are joined
+// on timestamps, never on sample index.
+func seriesAt(reg *metrics.Registry, name string) map[sim.Time]int64 {
+	m := make(map[sim.Time]int64)
+	for _, p := range reg.Series(name) {
+		m[p.At] = p.V
+	}
+	return m
+}
+
+// namesWith returns the registered names with the given prefix and
+// suffix, sorted (Names is sorted already).
+func namesWith(reg *metrics.Registry, prefix, suffix string) []string {
+	var out []string
+	for _, n := range reg.Names() {
+		if strings.HasPrefix(n, prefix) && strings.HasSuffix(n, suffix) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// middle trims prefix and suffix off a metric name, leaving the node.
+func middle(name, prefix, suffix string) string {
+	return strings.TrimSuffix(strings.TrimPrefix(name, prefix), suffix)
+}
+
+// SeriesTable renders the run's sampled series as one row per sampling
+// interval: aggregate and per-server bandwidth over the interval (from
+// the servers' byte counters), plus the failover counters that make a
+// T16 kill legible — redial attempts in the interval, sessions currently
+// down, replicas excluded from read-any.
+func (r StatResult) SeriesTable() *stats.Table {
+	instants := r.Reg.Series("sim.kernel.events_dispatched")
+	wrNames := namesWith(r.Reg, "dafs.server.", ".wr_bytes")
+	rdNames := namesWith(r.Reg, "dafs.server.", ".rd_bytes")
+	retryNames := namesWith(r.Reg, "mpiio.striped.", ".retries")
+	downNames := namesWith(r.Reg, "mpiio.striped.", ".down")
+	exclNames := namesWith(r.Reg, "mpiio.striped.", ".excluded")
+
+	cols := []string{"t", "wr MB/s", "rd MB/s"}
+	for _, n := range wrNames {
+		cols = append(cols, middle(n, "dafs.server.", ".wr_bytes")+" wr")
+	}
+	cols = append(cols, "redials", "down", "excl")
+
+	t := &stats.Table{
+		ID:    r.ID,
+		Title: fmt.Sprintf("%s sampled series (tick %v): per-interval bandwidth and failover state", r.ID, r.Reg.Tick()),
+		Note: "bandwidth is each interval's delta of the servers' byte counters; redials likewise per interval.\n" +
+			"down/excl are instantaneous gauges: striped sessions marked down, replicas excluded from read-any",
+		Columns: cols,
+	}
+
+	at := make(map[string]map[sim.Time]int64)
+	for _, n := range wrNames {
+		at[n] = seriesAt(r.Reg, n)
+	}
+	for _, n := range rdNames {
+		at[n] = seriesAt(r.Reg, n)
+	}
+	for _, n := range retryNames {
+		at[n] = seriesAt(r.Reg, n)
+	}
+	for _, n := range downNames {
+		at[n] = seriesAt(r.Reg, n)
+	}
+	for _, n := range exclNames {
+		at[n] = seriesAt(r.Reg, n)
+	}
+	sum := func(names []string, t sim.Time) int64 {
+		var s int64
+		for _, n := range names {
+			s += at[n][t] // missing instants read as 0 (counter not yet registered)
+		}
+		return s
+	}
+	for i := 1; i < len(instants); i++ {
+		prev, now := instants[i-1].At, instants[i].At
+		dt := now - prev
+		if dt <= 0 {
+			continue
+		}
+		row := []string{
+			now.String(),
+			stats.BW(stats.MBps(sum(wrNames, now)-sum(wrNames, prev), dt)),
+			stats.BW(stats.MBps(sum(rdNames, now)-sum(rdNames, prev), dt)),
+		}
+		for _, n := range wrNames {
+			row = append(row, stats.BW(stats.MBps(at[n][now]-at[n][prev], dt)))
+		}
+		row = append(row,
+			fmt.Sprintf("%d", sum(retryNames, now)-sum(retryNames, prev)),
+			fmt.Sprintf("%d", sum(downNames, now)),
+			fmt.Sprintf("%d", sum(exclNames, now)))
+		t.AddRow(row...)
+	}
+	return t
+}

@@ -3,6 +3,7 @@ package bench
 import (
 	"dafsio/internal/cluster"
 	"dafsio/internal/layout"
+	"dafsio/internal/metrics"
 	"dafsio/internal/mpiio"
 	"dafsio/internal/sim"
 	"dafsio/internal/stats"
@@ -66,17 +67,23 @@ func stripePoint(n, s int, write bool) float64 {
 // stripeRun is stripePoint with optional tracing; it returns the bandwidth,
 // the measured window, and the tracer (nil when traced is false).
 func stripeRun(n, s int, write, traced bool) (float64, sim.Time, sim.Time, *trace.Tracer) {
-	return stripeRunN(n, s, stripePer, write, traced)
+	bw, start, end, c := stripeRunN(n, s, stripePer, write, traced, 0)
+	return bw, start, end, c.Tracer
 }
 
 // stripeRunN is stripeRun with the per-client volume as a parameter, so the
 // wide T18 grid (hundreds of clients) can move less data per client than
-// T15's 4MB without disturbing T15's recorded numbers.
-func stripeRunN(n, s int, per int64, write, traced bool) (float64, sim.Time, sim.Time, *trace.Tracer) {
+// T15's 4MB without disturbing T15's recorded numbers. A positive mtick
+// installs a metrics registry sampling on that interval; the cluster is
+// returned so callers can reach both the tracer and the registry.
+func stripeRunN(n, s int, per int64, write, traced bool, mtick sim.Time) (float64, sim.Time, sim.Time, *cluster.Cluster) {
 	st := layout.Striping{StripeSize: stripeSize, Width: s}
 	cfg := cluster.Config{Clients: n, Servers: s, DAFS: true}
 	if traced {
 		cfg.Tracer = trace.New
+	}
+	if mtick > 0 {
+		cfg.Metrics = metrics.Installer(mtick)
 	}
 	c := cluster.New(cfg)
 	total := int64(n) * per
@@ -125,7 +132,8 @@ func stripeRunN(n, s int, per int64, write, traced bool) (float64, sim.Time, sim
 	if err != nil {
 		panic(err)
 	}
-	return stats.MBps(total, end-start), start, end, c.Tracer
+	c.Metrics.SampleNow() // close the series at the run's final instant
+	return stats.MBps(total, end-start), start, end, c
 }
 
 // t15Table runs the striped-scaling grid for the given client and server

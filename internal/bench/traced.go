@@ -81,6 +81,6 @@ func TracedT15(clients, servers int) TracedResult {
 // given width with tracing: aggregate-layer spans (plan/pack/exchange/
 // scatter) over per-server batch fan-out, one server per aggregator.
 func TracedT17(width int) TracedResult {
-	bw, start, end, tr := t17Run(width, methodTwoPhase, true)
-	return TracedResult{ID: "T17", MBps: bw, Start: start, End: end, Tracer: tr}
+	bw, start, end, c := t17Run(width, methodTwoPhase, true, 0)
+	return TracedResult{ID: "T17", MBps: bw, Start: start, End: end, Tracer: c.Tracer}
 }

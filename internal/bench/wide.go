@@ -13,7 +13,7 @@ const t18Per = 1 << 20
 
 // t18Point is one cell of the wide grid.
 func t18Point(n, s int, write bool) float64 {
-	bw, _, _, _ := stripeRunN(n, s, t18Per, write, false)
+	bw, _, _, _ := stripeRunN(n, s, t18Per, write, false, 0)
 	return bw
 }
 

@@ -17,6 +17,7 @@ import (
 	"dafsio/internal/fabric"
 	"dafsio/internal/fault"
 	"dafsio/internal/kstack"
+	"dafsio/internal/metrics"
 	"dafsio/internal/model"
 	"dafsio/internal/mpi"
 	"dafsio/internal/nfs"
@@ -61,6 +62,13 @@ type Config struct {
 	// every NIC's transmit path. Nil means a fault-free cluster with
 	// bit-identical behaviour to builds without the hook.
 	Faults func(k *sim.Kernel) *fault.Injector
+	// Metrics, when non-nil, installs the always-on metrics plane, wired
+	// exactly like Tracer: use metrics.Installer(tick). Every layer built
+	// afterwards registers its instruments with the registry; injected
+	// component faults additionally bump fault counters and dump every
+	// flight ring. Observational only — simulated results are
+	// byte-identical with it on or off.
+	Metrics func(k *sim.Kernel) *metrics.Registry
 }
 
 // Cluster is the assembled testbed.
@@ -88,8 +96,9 @@ type Cluster struct {
 	Stacks      []*kstack.Stack // per client (when NFS)
 	World       *mpi.World      // when MPI
 
-	Tracer *trace.Tracer   // non-nil when the config enabled tracing
-	Faults *fault.Injector // non-nil when the config installed faults
+	Tracer  *trace.Tracer     // non-nil when the config enabled tracing
+	Faults  *fault.Injector   // non-nil when the config installed faults
+	Metrics *metrics.Registry // non-nil when the config installed metrics
 }
 
 // New builds a cluster.
@@ -125,6 +134,12 @@ func New(cfg Config) *Cluster {
 	if cfg.Faults != nil {
 		c.Faults = cfg.Faults(k)
 		c.Prov.Faults = c.Faults
+	}
+	if cfg.Metrics != nil {
+		// Like the tracer, the registry must exist before any NIC or server
+		// is built: components register instruments at construction.
+		c.Metrics = cfg.Metrics(k)
+		c.Prov.Metrics = c.Metrics
 	}
 	// Server 0 keeps the seed topology's names and construction order so
 	// single-server experiments are bit-for-bit unchanged; extra servers
@@ -194,8 +209,19 @@ func New(cfg Config) *Cluster {
 
 // scheduleFaults turns the installed plan's component-level events into
 // kernel events against the named nodes. Wire-level events (stall, drop,
-// dup) need no scheduling: the NICs consult the injector directly.
+// dup) need no scheduling: the NICs consult the injector directly. With
+// metrics installed, each injected event bumps the fault counter and
+// dumps every flight ring — the injection instant is exactly when recent
+// per-component context is worth keeping.
 func (c *Cluster) scheduleFaults() {
+	var injected metrics.Counter
+	if c.Metrics != nil && len(c.Faults.Events()) > 0 {
+		injected = c.Metrics.Counter("fault.injected")
+	}
+	note := func(ev fault.Event) {
+		injected.Inc()
+		c.Metrics.DumpAll("fault: " + ev.Kind.String() + " " + ev.Node)
+	}
 	for _, ev := range c.Faults.Events() {
 		ev := ev
 		switch ev.Kind {
@@ -209,6 +235,7 @@ func (c *Cluster) scheduleFaults() {
 				if srv != nil {
 					srv.Crash()
 				}
+				note(ev)
 			})
 		case fault.ServerRestart:
 			node := c.nodeByName(ev.Node)
@@ -220,13 +247,17 @@ func (c *Cluster) scheduleFaults() {
 				if srv != nil {
 					srv.Restart()
 				}
+				note(ev)
 			})
 		case fault.SlowDisk:
 			disk := c.diskOn(c.nodeByName(ev.Node))
 			if disk == nil {
 				panic(fmt.Sprintf("cluster: slow-disk fault on %q, which has no disk", ev.Node))
 			}
-			c.K.At(ev.At, func() { disk.SetSlowdown(ev.Factor) })
+			c.K.At(ev.At, func() {
+				disk.SetSlowdown(ev.Factor)
+				note(ev)
+			})
 			c.K.At(ev.At+ev.Dur, func() { disk.SetSlowdown(1) })
 		}
 	}

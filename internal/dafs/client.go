@@ -1,10 +1,12 @@
 package dafs
 
 import (
+	"errors"
 	"fmt"
 	"slices"
 
 	"dafsio/internal/fabric"
+	"dafsio/internal/metrics"
 	"dafsio/internal/model"
 	"dafsio/internal/sim"
 	"dafsio/internal/trace"
@@ -71,9 +73,10 @@ type callResult struct {
 
 // Call is an in-flight request (the unit of the client's asynchronous API).
 type Call struct {
-	c   *Client
-	fut *sim.Future[callResult]
-	op  trace.OpID // request span: issue -> response decoded (0: untraced)
+	c      *Client
+	fut    *sim.Future[callResult]
+	op     trace.OpID // request span: issue -> response decoded (0: untraced)
+	issued sim.Time   // when the request hit the wire (call-latency metric)
 }
 
 // wait blocks until the response arrives and returns the decoded result.
@@ -124,10 +127,41 @@ type Client struct {
 
 	tr          *trace.Tracer
 	traceServer int // server index stamped on request spans (-1: untagged)
+	m           clientMetrics
 
 	closed  bool
 	failErr error
 	stats   ClientStats
+}
+
+// clientMetrics bundles the session's instruments. All sessions on one
+// client node share the node's instruments (a striped pool dials one
+// session per server, and redial replaces sessions mid-run), hence the
+// Shared registrations; zero values (metrics off) are no-ops.
+type clientMetrics struct {
+	ops        metrics.Counter
+	credits    metrics.Gauge // credits currently held (occupancy)
+	creditWait metrics.Hist  // ns spent waiting for a credit + slot
+	callNs     metrics.Hist  // wire-to-response latency per call
+	timeouts   metrics.Counter
+	failures   metrics.Counter // session failures (fail() invocations)
+	redials    metrics.Counter
+	flight     *metrics.Flight
+}
+
+// newClientMetrics registers (or re-attaches) the per-node instruments.
+func newClientMetrics(reg *metrics.Registry, node string) clientMetrics {
+	pre := "dafs.client." + node + "."
+	return clientMetrics{
+		ops:        reg.SharedCounter(pre + "ops"),
+		credits:    reg.SharedGauge(pre + "credits_held"),
+		creditWait: reg.SharedHist(pre + "credit_wait_ns"),
+		callNs:     reg.SharedHist(pre + "call_ns"),
+		timeouts:   reg.SharedCounter(pre + "timeouts"),
+		failures:   reg.SharedCounter(pre + "failures"),
+		redials:    reg.SharedCounter(pre + "redials"),
+		flight:     reg.Flight("dafs.client."+node, 0),
+	}
 }
 
 // Dial establishes a session with the server: it creates and connects the
@@ -149,6 +183,7 @@ func Dial(p *sim.Proc, nic *via.NIC, srv *Server, opts *Options) (*Client, error
 		tr:          prov.Tracer,
 		traceServer: -1,
 	}
+	c.m = newClientMetrics(prov.Metrics, nic.Node.Name)
 	c.cq = nic.NewCQ(nic.Node.Name + ".dafs.cq")
 	c.vi = nic.NewVI(c.cq, c.cq)
 	c.credits = sim.NewResource(c.k, nic.Node.Name+".dafs.credits", o.Credits)
@@ -290,6 +325,8 @@ func (c *Client) dispatch(p *sim.Proc) {
 				// requests than credits must not deadlock against
 				// itself.
 				c.credits.Release(1)
+				c.m.credits.Add(-1)
+				c.m.callNs.Observe(int64(p.Now() - call.issued))
 				c.tr.End(call.op)
 				call.fut.Set(callResult{status: hdr.Status, body: body})
 			}
@@ -308,6 +345,12 @@ func (c *Client) dispatch(p *sim.Proc) {
 func (c *Client) fail(err error) {
 	if c.failErr == nil {
 		c.failErr = fmt.Errorf("%w: %w", ErrSession, err)
+		c.m.failures.Inc()
+		if errors.Is(err, ErrTimeout) {
+			// The postmortem moment: the last N calls, waits, and retries
+			// leading up to the deadline are exactly what explains it.
+			c.m.flight.Dump("dafs: session failed: " + ErrTimeout.Error())
+		}
 	}
 	c.closed = true
 	xids := make([]uint32, 0, len(c.pending))
@@ -319,6 +362,7 @@ func (c *Client) fail(err error) {
 		call := c.pending[xid]
 		delete(c.pending, xid)
 		c.credits.Release(1)
+		c.m.credits.Add(-1)
 		c.tr.End(call.op)
 		call.fut.Set(callResult{err: c.failErr})
 	}
@@ -345,6 +389,11 @@ func (c *Client) start(p *sim.Proc, proc Proc, enc func(w *wr)) (*Call, error) {
 	//mpiolint:ignore pairleak credit released by the dispatch daemon on response arrival or session failure
 	c.credits.Acquire(p, 1)
 	s, _ := c.reqPool.Recv(p)
+	c.m.credits.Add(1)
+	if wait := p.Now() - t0; wait > 0 {
+		c.m.creditWait.Observe(int64(wait))
+		c.m.flight.Note(p.Now(), "credit_wait", proc.String(), int64(wait), 0)
+	}
 	c.tr.Charge(op, trace.CatQueue, p.Now()-t0)
 	buf := s.bytes()
 	w := newWr(buf[HeaderLen:])
@@ -352,6 +401,7 @@ func (c *Client) start(p *sim.Proc, proc Proc, enc func(w *wr)) (*Call, error) {
 	if w.Err() != nil {
 		c.reqPool.Send(p, s)
 		c.credits.Release(1)
+		c.m.credits.Add(-1)
 		c.tr.End(op)
 		return nil, w.Err()
 	}
@@ -374,9 +424,13 @@ func (c *Client) start(p *sim.Proc, proc Proc, enc func(w *wr)) (*Call, error) {
 		delete(c.pending, xid)
 		c.reqPool.Send(p, s)
 		c.credits.Release(1)
+		c.m.credits.Add(-1)
 		c.tr.End(op)
 		return nil, err
 	}
+	call.issued = p.Now()
+	c.m.ops.Inc()
+	c.m.flight.Note(call.issued, "call", proc.String(), int64(xid), int64(n))
 	if c.opts.CallTimeout > 0 {
 		// Arm the per-call deadline. The timer fires in kernel context at
 		// the deadline; if the response has arrived by then the call is no
@@ -421,6 +475,8 @@ func (c *Client) expire(xid uint32) {
 	if _, ok := c.pending[xid]; !ok {
 		return
 	}
+	c.m.timeouts.Inc()
+	c.m.flight.Note(c.k.Now(), "timeout", "", int64(xid), int64(c.opts.CallTimeout))
 	c.fail(fmt.Errorf("%w: call %d got no response within %v", ErrTimeout, xid, c.opts.CallTimeout))
 }
 
@@ -875,6 +931,8 @@ func (c *Client) Redial(p *sim.Proc) (*Client, error) {
 	}
 	c.unregister(p)
 	nc.traceServer = c.traceServer
+	nc.m.redials.Inc()
+	nc.m.flight.Note(p.Now(), "redial", "", int64(c.traceServer), 0)
 	return nc, nil
 }
 

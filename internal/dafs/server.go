@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dafsio/internal/fabric"
+	"dafsio/internal/metrics"
 	"dafsio/internal/model"
 	"dafsio/internal/sim"
 	"dafsio/internal/storage"
@@ -52,6 +53,7 @@ type Server struct {
 	crashed  bool
 
 	tr    *trace.Tracer
+	mOpNs metrics.Hist // per-request service latency, arrival to reply posted
 	stats ServerStats
 }
 
@@ -117,6 +119,17 @@ func NewServer(nic *via.NIC, store *storage.Store, opts *ServerOptions) *Server 
 	s.k.SpawnDaemon(nic.Node.Name+".dafs.dispatch", s.dispatch)
 	for i := 0; i < workers; i++ {
 		s.k.SpawnDaemon(fmt.Sprintf("%s.dafs.worker%d", nic.Node.Name, i), s.worker)
+	}
+	if m := prov.Metrics; m != nil {
+		// Strict registration: there is exactly one DAFS server per node.
+		// Counters are func-backed over stats the server already keeps.
+		pre := "dafs.server." + nic.Node.Name + "."
+		m.CounterFunc(pre+"requests", func() int64 { return s.stats.Requests })
+		m.CounterFunc(pre+"sessions", func() int64 { return s.stats.Sessions })
+		m.GaugeFunc(pre+"queue_depth", func() int64 { return int64(s.workQ.Len()) })
+		m.CounterFunc(pre+"rd_bytes", func() int64 { return s.stats.InlineReadBytes + s.stats.DirectReadBytes })
+		m.CounterFunc(pre+"wr_bytes", func() int64 { return s.stats.InlineWriteBytes + s.stats.DirectWriteBytes })
+		s.mOpNs = m.Hist(pre + "op_ns")
 	}
 	return s
 }
@@ -282,6 +295,7 @@ func (s *Server) handle(p *sim.Proc, req *srvReq) {
 		return
 	}
 	s.stats.Requests++
+	s.mOpNs.Observe(int64(p.Now() - req.at))
 }
 
 // storageStatus maps storage errors to wire statuses.

@@ -1,0 +1,84 @@
+package metrics
+
+import "dafsio/internal/sim"
+
+// StartSampler arms the periodic sampler: every instrument is snapshotted
+// now and then once per tick of virtual time, appending one Point (or
+// HistPoint) per instrument per instant. The tick rides a kernel daemon
+// event, so a pending sample never keeps Run alive — when the workload
+// drains, the sampler simply stops with it. Callers that want the final
+// boundary in the series call SampleNow after Run returns.
+//
+// Sampling runs in kernel context and only reads: push values, func
+// gauges, histogram summaries. It schedules nothing but its own next
+// tick, so all simulated timings are unchanged by it (the determinism
+// contract in the package comment).
+func (r *Registry) StartSampler(tick sim.Time) {
+	if r == nil || tick <= 0 {
+		return
+	}
+	if r.ev != nil {
+		panic("metrics: StartSampler called twice")
+	}
+	r.tick = tick
+	r.ev = r.k.NewDaemonEvent(func() {
+		r.sample()
+		r.k.AfterEvent(r.ev, r.tick)
+	})
+	r.sample()
+	r.k.AfterEvent(r.ev, r.tick)
+}
+
+// Tick returns the sampler's interval (0 when never started).
+func (r *Registry) Tick() sim.Time {
+	if r == nil {
+		return 0
+	}
+	return r.tick
+}
+
+// Samples returns how many sampling instants have been recorded.
+func (r *Registry) Samples() int {
+	if r == nil {
+		return 0
+	}
+	return r.samples
+}
+
+// SampleNow records one extra sampling instant at the current virtual
+// time — the closing boundary of a run, since the sampler's last pending
+// tick is a daemon event that Run leaves unexecuted. It is idempotent per
+// instant: a second call at the same virtual time is a no-op.
+func (r *Registry) SampleNow() {
+	if r == nil || r.lastAt == r.k.Now() {
+		return
+	}
+	r.sample()
+}
+
+// sample appends the current value of every instrument, in registration
+// order, stamped with the current virtual time.
+func (r *Registry) sample() {
+	now := r.k.Now()
+	r.lastAt = now
+	r.samples++
+	for _, in := range r.order {
+		if in.kind == KindHist {
+			h := &in.hist
+			in.hseries = append(in.hseries, HistPoint{
+				At:  now,
+				N:   h.N,
+				P50: h.Quantile(0.50),
+				P95: h.Quantile(0.95),
+				P99: h.Quantile(0.99),
+				Max: h.Max,
+			})
+			continue
+		}
+		v := in.v
+		if in.fn != nil {
+			v = in.fn()
+		}
+		in.series = append(in.series, Point{At: now, V: v})
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"dafsio/internal/dafs"
 	"dafsio/internal/layout"
+	"dafsio/internal/metrics"
 	"dafsio/internal/sim"
 	"dafsio/internal/trace"
 	"dafsio/internal/via"
@@ -69,6 +70,42 @@ type StripedDAFSDriver struct {
 	epoch    []int                   // per server: recovery episode counter
 
 	stagePool []*stageBuf // registered staging buffers for batched gather I/O
+	stageHi   int         // high-water mark of the staging pool
+
+	m stripedMetrics
+}
+
+// stripedMetrics bundles the driver's instruments under the client node's
+// name. Shared registration: a node can host more than one driver over a
+// run (re-opened pools in tests), and they aggregate. Zero values
+// (metrics off) are no-ops.
+type stripedMetrics struct {
+	retries   metrics.Counter   // redial attempts
+	failovers metrics.Counter   // sessions newly marked down
+	down      metrics.Gauge     // servers currently down
+	excluded  metrics.Gauge     // servers excluded from read-any
+	stagePool metrics.Gauge     // staging buffers currently pooled
+	stageHi   metrics.Gauge     // staging-pool high water
+	dispatch  []metrics.Counter // fragments issued, per server index
+	flight    *metrics.Flight
+}
+
+func newStripedMetrics(reg *metrics.Registry, node string, width int) stripedMetrics {
+	pre := "mpiio.striped." + node + "."
+	m := stripedMetrics{
+		retries:   reg.SharedCounter(pre + "retries"),
+		failovers: reg.SharedCounter(pre + "failovers"),
+		down:      reg.SharedGauge(pre + "down"),
+		excluded:  reg.SharedGauge(pre + "excluded"),
+		stagePool: reg.SharedGauge(pre + "stage_pool"),
+		stageHi:   reg.SharedGauge(pre + "stage_hiwater"),
+		flight:    reg.Flight("mpiio.striped."+node, 0),
+	}
+	m.dispatch = make([]metrics.Counter, width)
+	for t := range m.dispatch {
+		m.dispatch[t] = reg.SharedCounter(fmt.Sprintf("%sdispatch.%d", pre, t))
+	}
+	return m
 }
 
 // NewStripedDAFSDriver wraps a session pool, one session per server in
@@ -103,6 +140,7 @@ func NewStripedDAFSDriver(clients []*dafs.Client, st layout.Striping) *StripedDA
 			d.DirectThreshold = c.MaxInline()
 		}
 	}
+	d.m = newStripedMetrics(clients[0].NIC().Provider().Metrics, clients[0].NIC().Node.Name, st.Width)
 	return d
 }
 
@@ -132,12 +170,25 @@ func isSessionErr(err error) bool {
 
 // allDown builds the operation-level error for a fragment with no usable
 // replica left, wrapping both dafs.ErrAllReplicasDown and (when known) the
-// last session failure so either sentinel matches.
-func allDown(last error) error {
+// last session failure so either sentinel matches. This is a terminal
+// condition, so the driver's flight ring is dumped for the postmortem.
+func (d *StripedDAFSDriver) allDown(last error) error {
+	d.m.flight.Dump("mpiio: " + dafs.ErrAllReplicasDown.Error())
 	if last == nil {
 		return fmt.Errorf("mpiio: %w", dafs.ErrAllReplicasDown)
 	}
 	return fmt.Errorf("mpiio: %w: %w", dafs.ErrAllReplicasDown, last)
+}
+
+// exclude marks server t stale for read-any: it missed an acked write, so
+// only replicas that saw every write may serve reads.
+func (d *StripedDAFSDriver) exclude(t int) {
+	if d.excluded[t] {
+		return
+	}
+	d.excluded[t] = true
+	d.m.excluded.Add(1)
+	d.m.flight.Note(d.kernel().Now(), "exclude", "", int64(t), 0)
 }
 
 // kernel returns the simulation kernel the pool runs on.
@@ -154,6 +205,9 @@ func (d *StripedDAFSDriver) noteFailure(p *sim.Proc, s int, failed *dafs.Client)
 		return
 	}
 	d.down[s] = true
+	d.m.failovers.Inc()
+	d.m.down.Add(1)
+	d.m.flight.Note(p.Now(), "failover", "", int64(s), 0)
 	if d.gaveUp[s] {
 		return
 	}
@@ -174,14 +228,19 @@ func (d *StripedDAFSDriver) noteFailure(p *sim.Proc, s int, failed *dafs.Client)
 		for a := 0; a < d.Retry.Attempts; a++ {
 			rp.Wait(d.Retry.Backoff(a))
 			d.Retries++
+			d.m.retries.Inc()
+			d.m.flight.Note(rp.Now(), "retry", "", int64(s), int64(a))
 			nc, err := failed.Redial(rp)
 			if err == nil {
 				d.clients[s] = nc
 				d.down[s] = false
+				d.m.down.Add(-1)
+				d.m.flight.Note(rp.Now(), "recovered", "", int64(s), int64(a))
 				return
 			}
 		}
 		d.gaveUp[s] = true
+		d.m.flight.Note(rp.Now(), "gave_up", "", int64(s), 0)
 	})
 }
 
@@ -387,7 +446,7 @@ issue:
 				}
 			}
 			if !ok {
-				return nil, allDown(lastSess)
+				return nil, d.allDown(lastSess)
 			}
 		}
 	}
@@ -481,11 +540,12 @@ func (h *stripedHandle) check(off int64, write bool) error {
 	return nil
 }
 
-// issueFrag starts one fragment's transfer on one session, inline or
+// issueFrag starts one fragment's transfer on session t, inline or
 // direct by the driver's threshold (the same discipline for every replica
 // of the fragment — they are byte-identical transfers to different
-// servers).
-func (h *stripedHandle) issueFrag(p *sim.Proc, c *dafs.Client, fh dafs.FH, f layout.Fragment, buf []byte, reg *via.Region, write bool) (*dafs.IO, error) {
+// servers). t indexes the per-server dispatch counters.
+func (h *stripedHandle) issueFrag(p *sim.Proc, c *dafs.Client, t int, fh dafs.FH, f layout.Fragment, buf []byte, reg *via.Region, write bool) (*dafs.IO, error) {
+	h.drv.m.dispatch[t].Inc()
 	d := h.drv.DAFSDriver
 	switch {
 	case int(f.Len) <= d.DirectThreshold && write:
@@ -540,7 +600,7 @@ func (h *stripedHandle) StartRead(p *sim.Proc, off int64, buf []byte) (AsyncOp, 
 				break // deferred: Wait's retry path handles it
 			}
 			c := d.clients[t]
-			io, err := h.issueFrag(p, c, h.fhs[t][r], f, buf, reg, false)
+			io, err := h.issueFrag(p, c, t, h.fhs[t][r], f, buf, reg, false)
 			if err != nil {
 				if isSessionErr(err) {
 					d.noteFailure(p, t, c)
@@ -585,7 +645,7 @@ func (h *stripedHandle) StartWrite(p *sim.Proc, off int64, buf []byte) (AsyncOp,
 				continue // deferred: Wait's retry path covers the fragment
 			}
 			c := d.clients[t]
-			io, err := h.issueFrag(p, c, h.fhs[t][r], f, buf, reg, true)
+			io, err := h.issueFrag(p, c, t, h.fhs[t][r], f, buf, reg, true)
 			if err != nil {
 				if isSessionErr(err) {
 					d.noteFailure(p, t, c)
@@ -625,7 +685,7 @@ func (h *stripedHandle) retryWrite(p *sim.Proc, f layout.Fragment, buf []byte, r
 	st := d.striping
 	for {
 		if !h.waitRecovery(p, f.Server, false) {
-			return nil, allDown(lastErr)
+			return nil, d.allDown(lastErr)
 		}
 		acked := false
 		missed := make([]int, 0, st.R())
@@ -636,7 +696,7 @@ func (h *stripedHandle) retryWrite(p *sim.Proc, f layout.Fragment, buf []byte, r
 				continue
 			}
 			c := d.clients[t]
-			io, err := h.issueFrag(p, c, h.fhs[t][r], f, buf, reg, true)
+			io, err := h.issueFrag(p, c, t, h.fhs[t][r], f, buf, reg, true)
 			if err == nil {
 				op := &dafsOp{io: io, drv: d.DAFSDriver}
 				_, err = op.Wait(p)
@@ -664,14 +724,14 @@ func (h *stripedHandle) retryRead(p *sim.Proc, f layout.Fragment, buf []byte, re
 	d := h.drv
 	for {
 		if !h.waitRecovery(p, f.Server, true) {
-			return 0, allDown(lastErr)
+			return 0, d.allDown(lastErr)
 		}
 		t, r, ok := h.pickRead(f)
 		if !ok {
 			continue
 		}
 		c := d.clients[t]
-		io, err := h.issueFrag(p, c, h.fhs[t][r], f, buf, reg, false)
+		io, err := h.issueFrag(p, c, t, h.fhs[t][r], f, buf, reg, false)
 		if err == nil {
 			op := &dafsOp{io: io, drv: d.DAFSDriver}
 			var n int
@@ -744,7 +804,7 @@ func (o *stripedWriteOp) Wait(p *sim.Proc) (int, error) {
 		}
 		total += int(f.Len)
 		for _, t := range missed {
-			d.excluded[t] = true
+			d.exclude(t)
 		}
 	}
 	if o.reg != nil {
@@ -908,7 +968,7 @@ func (h *stripedHandle) retryGetattr(p *sim.Proc, s int) (int64, error) {
 	var lastErr error
 	for {
 		if !h.waitRecovery(p, s, true) {
-			return 0, allDown(lastErr)
+			return 0, d.allDown(lastErr)
 		}
 		t, r, ok := h.pickRead(layout.Fragment{Server: s})
 		if !ok {
@@ -1029,12 +1089,12 @@ issue:
 	}
 	for s := 0; s < W; s++ {
 		if !acked[s] {
-			return allDown(lastSess)
+			return d.allDown(lastSess)
 		}
 	}
 	for t := 0; t < W; t++ {
 		if missed[t] {
-			d.excluded[t] = true
+			d.exclude(t)
 		}
 	}
 	return nil

@@ -44,6 +44,7 @@ func (d *StripedDAFSDriver) getStage(p *sim.Proc, n int64) *stageBuf {
 	if best >= 0 {
 		sb := d.stagePool[best]
 		d.stagePool = append(d.stagePool[:best], d.stagePool[best+1:]...)
+		d.m.stagePool.Set(int64(len(d.stagePool)))
 		return sb
 	}
 	size := int64(4 << 10)
@@ -60,6 +61,10 @@ func (d *StripedDAFSDriver) getStage(p *sim.Proc, n int64) *stageBuf {
 // does not leave its whole fan-out pinned forever.
 func (d *StripedDAFSDriver) putStage(p *sim.Proc, sb *stageBuf) {
 	d.stagePool = append(d.stagePool, sb)
+	if len(d.stagePool) > d.stageHi {
+		d.stageHi = len(d.stagePool)
+		d.m.stageHi.Set(int64(d.stageHi))
+	}
 	for len(d.stagePool) > d.StagePoolMax {
 		smallest := 0
 		for i, s := range d.stagePool {
@@ -71,6 +76,7 @@ func (d *StripedDAFSDriver) putStage(p *sim.Proc, sb *stageBuf) {
 		d.stagePool = append(d.stagePool[:smallest], d.stagePool[smallest+1:]...)
 		d.client.NIC().Deregister(p, victim.reg)
 	}
+	d.m.stagePool.Set(int64(len(d.stagePool)))
 }
 
 // putStageAll returns a batch's staging buffers to the pool. Every exit
@@ -272,7 +278,7 @@ func (h *stripedHandle) retryPlanWrite(p *sim.Proc, pl aggregate.ServerPlan, reg
 	st := d.striping
 	for {
 		if !h.waitRecovery(p, pl.Server, false) {
-			return nil, allDown(lastErr)
+			return nil, d.allDown(lastErr)
 		}
 		acked := false
 		missed := make([]int, 0, st.R())
@@ -312,7 +318,7 @@ func (h *stripedHandle) retryPlanRead(p *sim.Proc, pl aggregate.ServerPlan, reg 
 	d := h.drv
 	for {
 		if !h.waitRecovery(p, pl.Server, true) {
-			return 0, allDown(lastErr)
+			return 0, d.allDown(lastErr)
 		}
 		t, r, ok := h.pickRead(layout.Fragment{Server: pl.Server})
 		if !ok {

@@ -22,6 +22,7 @@ type Event struct {
 	proc   *Proc
 	queued bool
 	pooled bool // owned by the kernel's free list (At/After callbacks)
+	daemon bool // pending presence does not keep Run alive (NewDaemonEvent)
 }
 
 // Scheduled reports whether the event is currently in the queue.

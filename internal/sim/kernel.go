@@ -35,6 +35,8 @@ type Kernel struct {
 	limit   Time // RunUntil bound, valid while running
 	limited bool
 
+	daemonEv int // queued daemon events; they alone never keep Run alive
+
 	failure  error // first panic raised inside a process
 	cbPanic  bool  // a callback panicked; Run re-panics with cbPanicV
 	cbPanicV any
@@ -54,6 +56,14 @@ func (k *Kernel) Now() Time { return k.now }
 // creation — the primary throughput unit reported by cmd/simbench.
 func (k *Kernel) Events() uint64 { return k.dispatched }
 
+// Live returns the number of live procs: spawned and not yet finished,
+// whether running, runnable, or parked.
+func (k *Kernel) Live() int { return len(k.live) }
+
+// PendingEvents returns the number of events currently queued — the
+// occupancy of the timer wheel (plus its overflow and front lists).
+func (k *Kernel) PendingEvents() int { return k.q.n }
+
 // schedule assigns the next sequence number and enqueues e at t. All
 // scheduling funnels through here, so dispatch order is exactly the old
 // heap's (Time, seq) order. Scheduling in the past panics: the simulation
@@ -69,6 +79,9 @@ func (k *Kernel) schedule(e *Event, t Time) {
 	e.at = t
 	e.seq = k.seq
 	e.queued = true
+	if e.daemon {
+		k.daemonEv++
+	}
 	k.q.push(e)
 }
 
@@ -116,6 +129,19 @@ func (k *Kernel) NewEvent(fn func()) *Event {
 		panic("sim: NewEvent with nil action")
 	}
 	return &Event{fn: fn}
+}
+
+// NewDaemonEvent returns a reusable event, like NewEvent, except that its
+// pending presence does not keep the simulation alive: Run and RunUntil
+// stop when only daemon events remain queued, leaving them unexecuted.
+// This is the background-activity analogue of SpawnDaemon — a periodic
+// self-rescheduling action (a metrics sampler tick, a scrubber) can arm
+// its next firing unconditionally without live-locking the kernel once
+// the real workload drains.
+func (k *Kernel) NewDaemonEvent(fn func()) *Event {
+	e := k.NewEvent(fn)
+	e.daemon = true
+	return e
 }
 
 // AtEvent schedules a reusable event at virtual time t. It panics if the
@@ -177,8 +203,8 @@ func (k *Kernel) RunUntil(limit Time) error {
 	if k.failure != nil {
 		return k.failure
 	}
-	if k.q.n > 0 {
-		return nil // next event is beyond the limit
+	if k.q.n > k.daemonEv {
+		return nil // next non-daemon event is beyond the limit
 	}
 	var names []string
 	for _, p := range k.live {
@@ -200,13 +226,18 @@ func (k *Kernel) RunUntil(limit Time) error {
 // limit, a recorded failure, or a callback panic. A nil return obliges a
 // proc caller to send the baton home on k.gate.
 func (k *Kernel) dispatch() *Proc {
-	for k.failure == nil && !k.cbPanic && k.q.n > 0 {
+	// The loop stops when only daemon events remain: they are left queued
+	// and unexecuted, exactly as parked daemon procs are left parked.
+	for k.failure == nil && !k.cbPanic && k.q.n > k.daemonEv {
 		ev := k.q.pop(k.limit, k.limited)
 		if ev == nil {
 			return nil
 		}
 		k.now = ev.at
 		k.dispatched++
+		if ev.daemon {
+			k.daemonEv--
+		}
 		if p := ev.proc; p != nil {
 			if p.w == nil {
 				k.bind(p) // first step: attach a pooled worker goroutine

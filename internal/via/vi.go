@@ -61,7 +61,9 @@ type CQ struct {
 
 // NewCQ creates a completion queue on the NIC.
 func (n *NIC) NewCQ(name string) *CQ {
-	return &CQ{Name: name, nic: n, ch: sim.NewChan[Completion](n.prov.K, 0)}
+	cq := &CQ{Name: name, nic: n, ch: sim.NewChan[Completion](n.prov.K, 0)}
+	n.cqs = append(n.cqs, cq)
+	return cq
 }
 
 // Wait blocks until a completion is available. If the process had to sleep,

@@ -21,6 +21,7 @@ import (
 
 	"dafsio/internal/fabric"
 	"dafsio/internal/fault"
+	"dafsio/internal/metrics"
 	"dafsio/internal/model"
 	"dafsio/internal/sim"
 	"dafsio/internal/trace"
@@ -86,6 +87,11 @@ type Provider struct {
 	// with bit-identical behaviour to builds without the hook.
 	Faults *fault.Injector
 
+	// Metrics, when set before NICs are created, registers per-NIC
+	// instruments (tx/rx bytes, doorbells, CQ depth, pinned regions) with
+	// the registry. Observational only, like Tracer; nil disables.
+	Metrics *metrics.Registry
+
 	nics map[fabric.NodeID]*NIC
 }
 
@@ -121,6 +127,7 @@ type NIC struct {
 	txQ      *sim.Chan[cell]
 
 	vis        []*VI
+	cqs        []*CQ
 	regions    map[MemHandle]*Region
 	nextHandle MemHandle
 
@@ -173,6 +180,23 @@ func (pr *Provider) NewNIC(node *fabric.Node) *NIC {
 	pr.K.SpawnDaemon(node.Name+".nic.send", n.sendLoop)
 	pr.K.SpawnDaemon(node.Name+".nic.tx", n.txLoop)
 	pr.K.SpawnDaemon(node.Name+".nic.rx", n.recvLoop)
+	if m := pr.Metrics; m != nil {
+		// All func-backed over counters the NIC already keeps: zero cost on
+		// the data path, evaluated only at sampling instants.
+		pre := "via.nic." + node.Name + "."
+		m.CounterFunc(pre+"tx_bytes", func() int64 { return n.stats.BytesOut })
+		m.CounterFunc(pre+"rx_bytes", func() int64 { return n.stats.BytesIn })
+		m.CounterFunc(pre+"cells_out", func() int64 { return n.stats.CellsOut })
+		m.CounterFunc(pre+"doorbells", func() int64 { return n.stats.SendsPosted + n.stats.RecvsPosted })
+		m.GaugeFunc(pre+"pinned_regions", func() int64 { return int64(len(n.regions)) })
+		m.GaugeFunc(pre+"cq_depth", func() int64 {
+			var d int64
+			for _, cq := range n.cqs {
+				d += int64(cq.Len())
+			}
+			return d
+		})
+	}
 	return n
 }
 
