@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint fmt faults t17 bench stat all
+.PHONY: build test race lint fmt faults t17 t19 bench stat all
 
 all: build test race lint faults
 
@@ -28,9 +28,20 @@ lint:
 # determinism replay.
 faults:
 	$(GO) test -race ./internal/fault/ ./internal/layout/
-	$(GO) test -race -run 'TestClose|TestCallTimeout|TestRedial|TestRetryPolicy|TestSession' ./internal/dafs/
-	$(GO) test -race -run 'TestReplicated|TestFailover|TestReadAny|TestUnreplicated|TestStripedBatch|TestStripedWriteSurvives' ./internal/mpiio/
+	$(GO) test -race -run 'TestClose|TestCallTimeout|TestRedial|TestRetryPolicy|TestSession|TestDrain|TestStaleEpoch|TestUnfenced' ./internal/dafs/
+	$(GO) test -race -run 'TestReplicated|TestFailover|TestReadAny|TestUnreplicated|TestStripedBatch|TestStripedWriteSurvives|TestRedialAlone|TestReadmission|TestHeal|TestReshape|TestFaultStorm' ./internal/mpiio/
 	$(GO) test -race -run 'TestT16' ./internal/bench/
+
+# t19 runs the elastic-membership suite: epoch fencing and drain on the
+# server, versioned layout properties, the re-silver/re-admission and
+# reshape protocols (including the crash+restart+join fault storm under
+# the race detector), and the T19 experiment's outcome and determinism
+# assertions.
+t19:
+	$(GO) test -race -run 'TestDrain|TestStaleEpoch|TestUnfenced' ./internal/dafs/
+	$(GO) test -race -run 'TestEpochName|TestDiff' ./internal/layout/
+	$(GO) test -race -run 'TestRedialAlone|TestReadmission|TestHeal|TestReshape|TestFaultStorm|TestStripedNFS' ./internal/mpiio/
+	$(GO) test -run 'TestT19|TestT15N' ./internal/bench/
 
 # t17 runs the stripe-aware aggregation suite: the planner's property
 # tests (permutation, domain tiling), the striped batch path, and the T17

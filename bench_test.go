@@ -44,3 +44,5 @@ func BenchmarkT14DiskBound(b *testing.B)      { runExperiment(b, "T14") }
 func BenchmarkT15StripedScaling(b *testing.B) { runExperiment(b, "T15") }
 func BenchmarkT16Failover(b *testing.B)       { runExperiment(b, "T16") }
 func BenchmarkT17StripedColl(b *testing.B)    { runExperiment(b, "T17") }
+func BenchmarkT19Elastic(b *testing.B)        { runExperiment(b, "T19") }
+func BenchmarkT15NStripedNFS(b *testing.B)    { runExperiment(b, "T15N") }

@@ -13,6 +13,7 @@
 //	mpiostat -run T16 -interval 2ms          # coarser sampling
 //	mpiostat -run T15 -clients 4 -servers 4  # striped write point
 //	mpiostat -run T17 -servers 4             # stripe-aligned collective, width 4
+//	mpiostat -run T19 -interval 25ms         # elastic join: re-silver window + epoch step
 //	mpiostat -json out.json                  # also export every series + dumps
 //	mpiostat -dumps=false                    # suppress flight-recorder output
 package main
@@ -30,7 +31,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "T16", "experiment to sample: T15, T16 or T17")
+	run := flag.String("run", "T16", "experiment to sample: T15, T16, T17 or T19")
 	interval := flag.Duration("interval", time.Millisecond, "sampling tick (simulated time)")
 	clients := flag.Int("clients", 4, "client count (T15 only)")
 	servers := flag.Int("servers", 4, "server count (T15); stripe width (T17)")
@@ -60,8 +61,10 @@ func main() {
 			os.Exit(1)
 		}
 		r = bench.StatT17(*servers, tick)
+	case "T19":
+		r = bench.StatT19(tick)
 	default:
-		fmt.Fprintf(os.Stderr, "mpiostat: unknown experiment %q (samplable: T15, T16, T17)\n", *run)
+		fmt.Fprintf(os.Stderr, "mpiostat: unknown experiment %q (samplable: T15, T16, T17, T19)\n", *run)
 		os.Exit(1)
 	}
 

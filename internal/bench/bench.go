@@ -46,6 +46,8 @@ var All = []Experiment{
 	{"T16", "Failover under a server crash: replication 1 vs 2", T16Failover},
 	{"T17", "Strided collective over striping: aligned domains + batch gather", T17StripedCollective},
 	{"T18", "Wide striped scaling: clients x servers at 10k-proc populations", T18WideStriping},
+	{"T19", "Elastic membership: live join, background re-silver, versioned layouts", T19Elastic},
+	{"T15N", "Striped NFS baseline: multi-mount striping without DAFS", T15NStripedNFS},
 }
 
 // ByID finds an experiment.

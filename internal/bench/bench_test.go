@@ -32,8 +32,8 @@ func TestRegistryComplete(t *testing.T) {
 			t.Fatalf("ByID(%s) = nil", e.ID)
 		}
 	}
-	if len(All) != 18 {
-		t.Fatalf("expected 18 experiments, have %d", len(All))
+	if len(All) != 20 {
+		t.Fatalf("expected 20 experiments, have %d", len(All))
 	}
 	if ByID("T99") != nil {
 		t.Fatal("ByID invented an experiment")

@@ -101,18 +101,21 @@ func (r StatResult) SeriesTable() *stats.Table {
 	retryNames := namesWith(r.Reg, "mpiio.striped.", ".retries")
 	downNames := namesWith(r.Reg, "mpiio.striped.", ".down")
 	exclNames := namesWith(r.Reg, "mpiio.striped.", ".excluded")
+	rslvNames := namesWith(r.Reg, "mpiio.striped.", ".resilver_bytes")
+	epochNames := namesWith(r.Reg, "mpiio.striped.", ".epoch")
 
 	cols := []string{"t", "wr MB/s", "rd MB/s"}
 	for _, n := range wrNames {
 		cols = append(cols, middle(n, "dafs.server.", ".wr_bytes")+" wr")
 	}
-	cols = append(cols, "redials", "down", "excl")
+	cols = append(cols, "redials", "down", "excl", "rslv MB/s", "epoch")
 
 	t := &stats.Table{
 		ID:    r.ID,
 		Title: fmt.Sprintf("%s sampled series (tick %v): per-interval bandwidth and failover state", r.ID, r.Reg.Tick()),
-		Note: "bandwidth is each interval's delta of the servers' byte counters; redials likewise per interval.\n" +
-			"down/excl are instantaneous gauges: striped sessions marked down, replicas excluded from read-any",
+		Note: "bandwidth is each interval's delta of the servers' byte counters; redials and rslv (re-silver copy\n" +
+			"traffic) likewise per interval. down/excl are instantaneous gauges: striped sessions marked down,\n" +
+			"replicas excluded from read-any. epoch is the active layout epoch (steps at a reshape's commit)",
 		Columns: cols,
 	}
 
@@ -130,6 +133,12 @@ func (r StatResult) SeriesTable() *stats.Table {
 		at[n] = seriesAt(r.Reg, n)
 	}
 	for _, n := range exclNames {
+		at[n] = seriesAt(r.Reg, n)
+	}
+	for _, n := range rslvNames {
+		at[n] = seriesAt(r.Reg, n)
+	}
+	for _, n := range epochNames {
 		at[n] = seriesAt(r.Reg, n)
 	}
 	sum := func(names []string, t sim.Time) int64 {
@@ -153,10 +162,18 @@ func (r StatResult) SeriesTable() *stats.Table {
 		for _, n := range wrNames {
 			row = append(row, stats.BW(stats.MBps(at[n][now]-at[n][prev], dt)))
 		}
+		var epoch int64
+		for _, n := range epochNames {
+			if v := at[n][now]; v > epoch {
+				epoch = v
+			}
+		}
 		row = append(row,
 			fmt.Sprintf("%d", sum(retryNames, now)-sum(retryNames, prev)),
 			fmt.Sprintf("%d", sum(downNames, now)),
-			fmt.Sprintf("%d", sum(exclNames, now)))
+			fmt.Sprintf("%d", sum(exclNames, now)),
+			stats.BW(stats.MBps(sum(rslvNames, now)-sum(rslvNames, prev), dt)),
+			fmt.Sprintf("%d", epoch))
 		t.AddRow(row...)
 	}
 	return t

@@ -41,6 +41,11 @@ type Config struct {
 	DAFS bool
 	// NFS starts an NFS server and puts a kernel stack on every client.
 	NFS bool
+	// NFSAll starts an NFS server on every server node, each exporting
+	// its own store — the multi-mount substrate a striped-NFS baseline
+	// needs (one mount per server, striping done client-side). Implies
+	// NFS for server 0, so single-mount callers see the usual NFSSrv.
+	NFSAll bool
 	// MPI builds an MPI world across the clients (requires VIA NICs; they
 	// are added even when DAFS is off).
 	MPI bool
@@ -90,6 +95,7 @@ type Cluster struct {
 	Stores      []*storage.Store
 	Disks       []*storage.Disk
 	DAFSSrvs    []*dafs.Server
+	NFSSrvs     []*nfs.Server // per server when NFSAll; else just server 0
 
 	ClientNodes []*fabric.Node
 	NICs        []*via.NIC      // per client (when DAFS or MPI)
@@ -99,6 +105,9 @@ type Cluster struct {
 	Tracer  *trace.Tracer     // non-nil when the config enabled tracing
 	Faults  *fault.Injector   // non-nil when the config installed faults
 	Metrics *metrics.Registry // non-nil when the config installed metrics
+
+	cfg   Config // build recipe, reused when servers join mid-run
+	epoch uint32 // membership epoch: 1 at build, +1 per add/drain
 }
 
 // New builds a cluster.
@@ -141,45 +150,22 @@ func New(cfg Config) *Cluster {
 		c.Metrics = cfg.Metrics(k)
 		c.Prov.Metrics = c.Metrics
 	}
+	c.cfg = cfg
+	c.cfg.Servers = servers
+	c.cfg.Profile = prof
+	c.epoch = 1
 	// Server 0 keeps the seed topology's names and construction order so
 	// single-server experiments are bit-for-bit unchanged; extra servers
 	// follow the same recipe with their own node, store, and disk.
 	for i := 0; i < servers; i++ {
-		name := "server"
-		store := c.Store
-		if i > 0 {
-			name = fmt.Sprintf("server%d", i)
-			store = storage.NewStore()
-		}
-		node := c.Fab.AddNode(name)
-		c.ServerNodes = append(c.ServerNodes, node)
-		c.Stores = append(c.Stores, store)
-		var disk *storage.Disk
-		if cfg.ServerDisk {
-			disk = storage.NewDisk(k, name+".disk", prof.DiskSeek, prof.DiskBW)
-		}
-		c.Disks = append(c.Disks, disk)
-		if cfg.DAFS {
-			dopts := cfg.DAFSOptions
-			if dopts == nil {
-				dopts = &dafs.ServerOptions{}
-			}
-			if i > 0 {
-				// Servers past the first share tuning but never a disk or
-				// an explicitly injected one (that would serialize them).
-				dopts = &dafs.ServerOptions{Workers: dopts.Workers, Disk: disk}
-			} else if dopts.Disk == nil {
-				dopts.Disk = disk
-			}
-			c.DAFSSrvs = append(c.DAFSSrvs, dafs.NewServer(c.Prov.NewNIC(node), store, dopts))
-		}
+		c.buildServer(i)
 	}
 	c.ServerNode = c.ServerNodes[0]
 	c.Disk = c.Disks[0]
 	if cfg.DAFS {
 		c.DAFSSrv = c.DAFSSrvs[0]
 	}
-	if cfg.NFS {
+	if cfg.NFS || cfg.NFSAll {
 		nopts := cfg.NFSOptions
 		if nopts == nil {
 			nopts = &nfs.ServerOptions{}
@@ -189,6 +175,16 @@ func New(cfg Config) *Cluster {
 		}
 		srvStack := kstack.New(c.ServerNode, prof, k)
 		c.NFSSrv = nfs.NewServer(srvStack, prof, k, c.Store, nopts)
+		c.NFSSrvs = append(c.NFSSrvs, c.NFSSrv)
+		if cfg.NFSAll {
+			// Like extra DAFS servers: shared tuning, per-server store and
+			// disk, each export on its own node and kernel stack.
+			for i := 1; i < servers; i++ {
+				ni := &nfs.ServerOptions{Workers: nopts.Workers, Disk: c.Disks[i]}
+				stack := kstack.New(c.ServerNodes[i], prof, k)
+				c.NFSSrvs = append(c.NFSSrvs, nfs.NewServer(stack, prof, k, c.Stores[i], ni))
+			}
+		}
 	}
 	for i := 0; i < cfg.Clients; i++ {
 		node := c.Fab.AddNode(fmt.Sprintf("client%d", i))
@@ -196,7 +192,7 @@ func New(cfg Config) *Cluster {
 		if cfg.DAFS || cfg.MPI {
 			c.NICs = append(c.NICs, c.Prov.NewNIC(node))
 		}
-		if cfg.NFS {
+		if cfg.NFS || cfg.NFSAll {
 			c.Stacks = append(c.Stacks, kstack.New(node, prof, k))
 		}
 	}
@@ -205,6 +201,101 @@ func New(cfg Config) *Cluster {
 	}
 	c.scheduleFaults()
 	return c
+}
+
+// buildServer appends server i's node, store, disk, and (with DAFS on)
+// DAFS server, following the seed recipe. Used at build time and by
+// AddServer for mid-run joins.
+func (c *Cluster) buildServer(i int) {
+	name := "server"
+	store := c.Store
+	if i > 0 {
+		name = fmt.Sprintf("server%d", i)
+		store = storage.NewStore()
+	}
+	node := c.Fab.AddNode(name)
+	c.ServerNodes = append(c.ServerNodes, node)
+	c.Stores = append(c.Stores, store)
+	var disk *storage.Disk
+	if c.cfg.ServerDisk {
+		disk = storage.NewDisk(c.K, name+".disk", c.Prof.DiskSeek, c.Prof.DiskBW)
+	}
+	c.Disks = append(c.Disks, disk)
+	if c.cfg.DAFS {
+		dopts := c.cfg.DAFSOptions
+		if dopts == nil {
+			dopts = &dafs.ServerOptions{}
+		}
+		if i > 0 {
+			// Servers past the first share tuning but never a disk or
+			// an explicitly injected one (that would serialize them).
+			dopts = &dafs.ServerOptions{Workers: dopts.Workers, Disk: disk}
+		} else if dopts.Disk == nil {
+			dopts.Disk = disk
+		}
+		srv := dafs.NewServer(c.Prov.NewNIC(node), store, dopts)
+		srv.SetEpoch(c.epoch)
+		c.DAFSSrvs = append(c.DAFSSrvs, srv)
+	}
+}
+
+// Epoch returns the current membership epoch (1 at build time, bumped by
+// every AddServer / DrainServer).
+func (c *Cluster) Epoch() uint32 { return c.epoch }
+
+// setEpoch bumps the membership epoch and propagates it to every DAFS
+// server, so subsequently dialing clients observe the change through the
+// connection phase (dafs.Client.ServerEpoch).
+func (c *Cluster) setEpoch(e uint32) {
+	c.epoch = e
+	for _, s := range c.DAFSSrvs {
+		s.SetEpoch(e)
+	}
+}
+
+// AddServer grows the cluster mid-run: it provisions the next server
+// node (NIC, store, disk, DAFS server) by the build recipe, bumps the
+// membership epoch, and fences the newcomer at the join epoch — only
+// clients that dialed with knowledge of the join (Options.Epoch >= the
+// returned epoch) are admitted, so a stale client can never half-use a
+// server its layout does not know about. Returns the new server's index
+// and the join epoch. Callers then dial it (DialDAFSServer stamps the
+// current epoch) and re-silver or reshape their layouts onto it.
+func (c *Cluster) AddServer() (s int, epoch uint32) {
+	s = len(c.ServerNodes)
+	c.buildServer(s)
+	c.setEpoch(c.epoch + 1)
+	if c.cfg.DAFS {
+		c.DAFSSrvs[s].SetFence(c.epoch)
+	}
+	return s, c.epoch
+}
+
+// DrainServer begins a graceful removal: the membership epoch bumps (so
+// refreshing clients learn the change) and the server refuses new
+// sessions while established ones keep servicing — the window in which a
+// migration reads the leaver's stripes out. Finish with RemoveServer once
+// no layout places data on it.
+func (c *Cluster) DrainServer(s int) (epoch uint32) {
+	c.setEpoch(c.epoch + 1)
+	if s >= 0 && s < len(c.DAFSSrvs) {
+		c.DAFSSrvs[s].Drain()
+	}
+	return c.epoch
+}
+
+// RemoveServer withdraws a drained server for good: its NIC goes dark and
+// the server fail-stops, exactly like a crash but intentional. The
+// server's slot in the per-server slices is retired, never reused, so
+// surviving indexes stay stable.
+func (c *Cluster) RemoveServer(s int) {
+	node := c.ServerNodes[s]
+	if nic := c.Prov.NIC(node.ID); nic != nil {
+		nic.Kill()
+	}
+	if s < len(c.DAFSSrvs) {
+		c.DAFSSrvs[s].Crash()
+	}
 }
 
 // scheduleFaults turns the installed plan's component-level events into
@@ -314,7 +405,17 @@ func (c *Cluster) DialDAFSServer(p *sim.Proc, i, s int, opts *dafs.Options) (*da
 	if s < 0 || s >= len(c.DAFSSrvs) {
 		return nil, fmt.Errorf("cluster: no DAFS server %d (have %d)", s, len(c.DAFSSrvs))
 	}
-	cl, err := dafs.Dial(p, c.NICs[i], c.DAFSSrvs[s], opts)
+	// Stamp the current membership epoch unless the caller pinned one —
+	// the normal way clients present a fresh view to fenced (newly
+	// joined) servers. The caller's Options are never mutated.
+	var o dafs.Options
+	if opts != nil {
+		o = *opts
+	}
+	if o.Epoch == 0 {
+		o.Epoch = c.epoch
+	}
+	cl, err := dafs.Dial(p, c.NICs[i], c.DAFSSrvs[s], &o)
 	if err != nil {
 		return nil, err
 	}
@@ -345,6 +446,31 @@ func (c *Cluster) MountNFS(p *sim.Proc, i int, opts *nfs.MountOptions) (*nfs.Cli
 		return nil, fmt.Errorf("cluster: no NFS server configured")
 	}
 	return nfs.Mount(p, c.Stacks[i], c.NFSSrv, opts)
+}
+
+// MountNFSServer mounts server s's NFS export from client i (NFSAll).
+func (c *Cluster) MountNFSServer(p *sim.Proc, i, s int, opts *nfs.MountOptions) (*nfs.Client, error) {
+	if s < 0 || s >= len(c.NFSSrvs) {
+		return nil, fmt.Errorf("cluster: no NFS server %d (have %d)", s, len(c.NFSSrvs))
+	}
+	return nfs.Mount(p, c.Stacks[i], c.NFSSrvs[s], opts)
+}
+
+// MountNFSAll mounts every NFS export from client i, in server order —
+// the mount pool a client-side striped NFS driver needs.
+func (c *Cluster) MountNFSAll(p *sim.Proc, i int, opts *nfs.MountOptions) ([]*nfs.Client, error) {
+	if len(c.NFSSrvs) == 0 {
+		return nil, fmt.Errorf("cluster: no NFS server configured")
+	}
+	mounts := make([]*nfs.Client, len(c.NFSSrvs))
+	for s := range c.NFSSrvs {
+		m, err := c.MountNFSServer(p, i, s, opts)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: mount server %d: %w", s, err)
+		}
+		mounts[s] = m
+	}
+	return mounts, nil
 }
 
 // Run drives the simulation to completion.

@@ -29,6 +29,15 @@ type Options struct {
 	// failover) must set it: a crashed server never answers, so the
 	// deadline is the only failure detector.
 	CallTimeout sim.Time
+	// Epoch is the cluster membership epoch the client dials with.
+	// Servers reject connects whose epoch predates their admission fence
+	// (ErrStaleEpoch) — a newly joined server only admits clients that
+	// learned of the membership change that created it. Zero (the
+	// default) means an unversioned client, admitted by any server whose
+	// fence is unset; cluster.DialDAFSServer stamps the current epoch.
+	// The exchange rides the out-of-band connection phase, so the on-wire
+	// CONNECT message is unchanged.
+	Epoch uint32
 }
 
 func (o *Options) withDefaults() Options {
@@ -43,6 +52,7 @@ func (o *Options) withDefaults() Options {
 		if o.CallTimeout > 0 {
 			out.CallTimeout = o.CallTimeout
 		}
+		out.Epoch = o.Epoch
 	}
 	return out
 }
@@ -119,6 +129,7 @@ type Client struct {
 	nextXID   uint32
 	maxInline int
 	slotSize  int
+	srvEpoch  uint32 // server's membership epoch at connect time
 
 	// freeExpire pools per-call deadline timers: each carries a reusable
 	// kernel event bound once to its own fire action, so arming a call
@@ -195,6 +206,10 @@ func Dial(p *sim.Proc, nic *via.NIC, srv *Server, opts *Options) (*Client, error
 	if err := srv.accept(p, c.vi, o, c.slotSize); err != nil {
 		return nil, err
 	}
+	// The server's membership epoch rides the out-of-band connection
+	// phase back to the client (like the VIA connect itself, it carries
+	// no modeled wire cost).
+	c.srvEpoch = srv.epoch
 
 	// Registered message buffers: one pool for requests, one for
 	// responses (pre-posted receives). The session owns both regions; every
@@ -256,6 +271,13 @@ func (c *Client) Node() *fabric.Node { return c.node }
 
 // MaxInline returns the negotiated inline data limit.
 func (c *Client) MaxInline() int { return c.maxInline }
+
+// Epoch returns the membership epoch the session dialed with.
+func (c *Client) Epoch() uint32 { return c.opts.Epoch }
+
+// ServerEpoch returns the server's membership epoch observed at connect
+// time — how a client learns the cluster changed since it last looked.
+func (c *Client) ServerEpoch() uint32 { return c.srvEpoch }
 
 // Tracer returns the provider tracer the session records to (nil when
 // tracing is off).

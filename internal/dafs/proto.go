@@ -104,6 +104,16 @@ var (
 	// MPI-IO driver) when every replica of a stripe is unreachable and
 	// session recovery has been exhausted.
 	ErrAllReplicasDown = errors.New("dafs: all replicas down")
+	// ErrStaleEpoch rejects a connect whose membership epoch
+	// (Options.Epoch) predates the server's admission fence: the client's
+	// view of the cluster is stale and must be refreshed before it may
+	// open sessions to this server. The check runs in the out-of-band
+	// connection phase (Server.accept), never mid-session — established
+	// sessions drain naturally.
+	ErrStaleEpoch = errors.New("dafs: stale membership epoch")
+	// ErrDraining rejects a connect to a server being removed from the
+	// cluster: existing sessions keep servicing, new ones are refused.
+	ErrDraining = errors.New("dafs: server draining")
 )
 
 // Err maps a status to its error (nil for StatusOK).

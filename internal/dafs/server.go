@@ -51,6 +51,9 @@ type Server struct {
 	workQ    *sim.Chan[*srvReq]
 	sessions []*session
 	crashed  bool
+	draining bool
+	epoch    uint32 // current membership epoch (informational, see SetEpoch)
+	fence    uint32 // minimum client epoch admitted (see SetFence)
 
 	tr    *trace.Tracer
 	mOpNs metrics.Hist // per-request service latency, arrival to reply posted
@@ -167,13 +170,51 @@ func (s *Server) Restart() {
 	s.sessions = nil
 }
 
+// SetEpoch records the current cluster membership epoch. It is
+// informational — returned to dialing clients through the out-of-band
+// connection phase (Client.ServerEpoch) — and never rejects anyone; use
+// SetFence for admission control.
+func (s *Server) SetEpoch(e uint32) { s.epoch = e }
+
+// Epoch returns the membership epoch last set.
+func (s *Server) Epoch() uint32 { return s.epoch }
+
+// SetFence sets the minimum membership epoch a connect must present
+// (Options.Epoch). A newly joined server fences at its join epoch:
+// clients whose membership view predates the join cannot validly address
+// it, so their connects fail with ErrStaleEpoch until they refresh. The
+// fence is checked only at session establishment — sessions admitted
+// under an older fence drain naturally.
+func (s *Server) SetFence(e uint32) { s.fence = e }
+
+// Fence returns the admission fence.
+func (s *Server) Fence() uint32 { return s.fence }
+
+// Drain marks the server as leaving the cluster: new sessions are
+// refused with ErrDraining while established sessions keep servicing, so
+// in-flight work (including the migration reading the server's stripes
+// out) completes before the node is withdrawn. Drain is one-way; a
+// drained server's slot is retired, never reused.
+func (s *Server) Drain() { s.draining = true }
+
+// Draining reports whether the server is being withdrawn.
+func (s *Server) Draining() bool { return s.draining }
+
 // accept performs the server side of session establishment: it creates and
 // connects the VI, registers the session's message buffers, and pre-posts
 // one receive per credit. It runs in the dialing process but charges the
-// server's CPU.
+// server's CPU. Admission control — crash, drain, and the membership
+// fence — happens here, in the out-of-band connection phase, so none of
+// it alters on-wire message sizes or timing for admitted sessions.
 func (s *Server) accept(p *sim.Proc, clientVI *via.VI, o Options, slotSize int) error {
 	if s.crashed {
 		return fmt.Errorf("%w: server %s is down", ErrSession, s.node.Name)
+	}
+	if s.draining {
+		return fmt.Errorf("%w: server %s", ErrDraining, s.node.Name)
+	}
+	if o.Epoch < s.fence {
+		return fmt.Errorf("%w: connect epoch %d < fence %d on %s", ErrStaleEpoch, o.Epoch, s.fence, s.node.Name)
 	}
 	s.node.Compute(p, s.prof.DAFSOpCost) // session setup
 	vi := s.nic.NewVI(s.cq, s.cq)

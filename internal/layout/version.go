@@ -1,0 +1,143 @@
+// Versioned layouts: when cluster membership changes (a server joins or
+// leaves), the striping policy changes with it, and in-flight files must
+// move from the old placement to the new one without orphaning a byte.
+// A Version tags a Striping with the membership epoch that produced it;
+// History is the append-only sequence of versions a file has lived under;
+// Diff computes the exact old→new fragment moves a migration must perform.
+//
+// Epoch-tagged object names keep the two placements disjoint on servers
+// that appear in both: the same stripe index maps to a different object
+// row when Width changes, so reusing one object name across widths would
+// interleave incompatible layouts. Epoch 1 (the build-time membership)
+// keeps the plain name, so static clusters remain wire- and
+// store-compatible with everything written before layouts were versioned.
+package layout
+
+import "fmt"
+
+// Version is one epoch of a file's placement policy.
+type Version struct {
+	// Epoch is the cluster membership epoch this layout belongs to
+	// (>= 1; epochs increase by one per membership change).
+	Epoch uint32
+	// Striping is the placement policy in force during the epoch.
+	Striping Striping
+}
+
+// EpochName returns the stripe-object name used under the given epoch.
+// Epoch 0 and 1 keep the plain name (the pre-elastic layout); later
+// epochs suffix it, keeping old- and new-layout objects disjoint during a
+// migration. Compose with ReplicaName: EpochName(ReplicaName(n, r), e).
+func EpochName(name string, epoch uint32) string {
+	if epoch <= 1 {
+		return name
+	}
+	return fmt.Sprintf("%s@e%d", name, epoch)
+}
+
+// History is a file's append-only sequence of layout versions, oldest
+// first. Epochs are strictly increasing; the last entry is current.
+type History struct {
+	versions []Version
+}
+
+// Add appends a version. It panics unless the epoch strictly exceeds the
+// current one — layout history never rewinds.
+func (h *History) Add(v Version) {
+	if err := v.Striping.Validate(); err != nil {
+		panic(fmt.Sprintf("layout: version epoch %d: %v", v.Epoch, err))
+	}
+	if v.Epoch < 1 {
+		panic(fmt.Sprintf("layout: version epoch %d < 1", v.Epoch))
+	}
+	if n := len(h.versions); n > 0 && v.Epoch <= h.versions[n-1].Epoch {
+		panic(fmt.Sprintf("layout: epoch %d does not advance %d", v.Epoch, h.versions[n-1].Epoch))
+	}
+	h.versions = append(h.versions, v)
+}
+
+// Current returns the newest version. It panics on an empty history.
+func (h *History) Current() Version {
+	if len(h.versions) == 0 {
+		panic("layout: empty history")
+	}
+	return h.versions[len(h.versions)-1]
+}
+
+// At returns the version in force at the given epoch: the newest entry
+// whose epoch is <= e. ok is false when e predates the first version.
+func (h *History) At(e uint32) (Version, bool) {
+	for i := len(h.versions) - 1; i >= 0; i-- {
+		if h.versions[i].Epoch <= e {
+			return h.versions[i], true
+		}
+	}
+	return Version{}, false
+}
+
+// Len returns the number of recorded versions.
+func (h *History) Len() int { return len(h.versions) }
+
+// Move is one relocation a layout change demands: the logical extent
+// [Off, Off+Len) leaves its old placement (From) for its new one (To).
+// From.BufOff and To.BufOff both equal Off, so either side can be used to
+// address the bytes logically.
+type Move struct {
+	Off  int64
+	Len  int64
+	From Fragment
+	To   Fragment
+}
+
+// Diff computes the moves that migrate a dense n-byte file from the old
+// striping to the new one. It walks both placements' fragment lists in
+// logical order, splitting at every fragment boundary of either side, and
+// emits a Move for each piece whose server or object offset changes.
+// Pieces whose placement is identical under both layouts (same server,
+// same object offset) are omitted: with epoch-disjoint object names the
+// caller decides whether "identical" placement still needs a copy (it
+// does whenever the object names differ), so Diff also reports the total
+// via Moves' coverage — see the property tests, which check that moves
+// plus identical pieces tile [0, n) exactly.
+func Diff(old, new Striping, n int64) []Move {
+	if err := old.Validate(); err != nil {
+		panic(fmt.Sprintf("layout: diff old: %v", err))
+	}
+	if err := new.Validate(); err != nil {
+		panic(fmt.Sprintf("layout: diff new: %v", err))
+	}
+	if n < 0 {
+		panic(fmt.Sprintf("layout: diff negative size %d", n))
+	}
+	if n == 0 {
+		return nil
+	}
+	of := old.Map(0, n)
+	nf := new.Map(0, n)
+	var moves []Move
+	oi, ni := 0, 0
+	var pos int64
+	for pos < n {
+		o, w := of[oi], nf[ni]
+		oEnd := o.BufOff + o.Len
+		nEnd := w.BufOff + w.Len
+		end := oEnd
+		if nEnd < end {
+			end = nEnd
+		}
+		take := end - pos
+		from := Fragment{Server: o.Server, Off: o.Off + (pos - o.BufOff), Len: take, BufOff: pos}
+		to := Fragment{Server: w.Server, Off: w.Off + (pos - w.BufOff), Len: take, BufOff: pos}
+		if from.Server != to.Server || from.Off != to.Off {
+			moves = append(moves, Move{Off: pos, Len: take, From: from, To: to})
+		}
+		pos = end
+		if pos == oEnd {
+			oi++
+		}
+		if pos == nEnd {
+			ni++
+		}
+	}
+	return moves
+}

@@ -1,0 +1,219 @@
+package layout
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestEpochName(t *testing.T) {
+	if got := EpochName("f", 0); got != "f" {
+		t.Fatalf("epoch 0: %q", got)
+	}
+	if got := EpochName("f", 1); got != "f" {
+		t.Fatalf("epoch 1: %q", got)
+	}
+	if got := EpochName("f", 2); got != "f@e2" {
+		t.Fatalf("epoch 2: %q", got)
+	}
+	if got := EpochName(ReplicaName("f", 1), 3); got != "f#1@e3" {
+		t.Fatalf("replica+epoch: %q", got)
+	}
+}
+
+func TestHistory(t *testing.T) {
+	var h History
+	h.Add(Version{Epoch: 1, Striping: Striping{Width: 1}})
+	h.Add(Version{Epoch: 2, Striping: Striping{StripeSize: 4, Width: 2}})
+	h.Add(Version{Epoch: 5, Striping: Striping{StripeSize: 4, Width: 3}})
+	if h.Len() != 3 {
+		t.Fatalf("len %d", h.Len())
+	}
+	if cur := h.Current(); cur.Epoch != 5 || cur.Striping.Width != 3 {
+		t.Fatalf("current %+v", cur)
+	}
+	if v, ok := h.At(4); !ok || v.Epoch != 2 {
+		t.Fatalf("At(4) = %+v %v", v, ok)
+	}
+	if v, ok := h.At(1); !ok || v.Epoch != 1 {
+		t.Fatalf("At(1) = %+v %v", v, ok)
+	}
+	if _, ok := h.At(0); ok {
+		t.Fatal("At(0) found a version before the first epoch")
+	}
+	mustPanic(t, "rewind epoch", func() { h.Add(Version{Epoch: 5, Striping: Striping{Width: 1}}) })
+	mustPanic(t, "invalid striping", func() { h.Add(Version{Epoch: 9, Striping: Striping{Width: 0}}) })
+	mustPanic(t, "empty current", func() { (&History{}).Current() })
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: no panic", what)
+		}
+	}()
+	fn()
+}
+
+// diffCases are the layout transitions the elastic cluster performs:
+// grow by one, shrink by one, grow from unstriped, stripe-size change,
+// and a replica-count change layered on a width change.
+var diffCases = []struct {
+	name     string
+	old, new Striping
+}{
+	{"grow 3to4", Striping{StripeSize: 512, Width: 3}, Striping{StripeSize: 512, Width: 4}},
+	{"shrink 4to3", Striping{StripeSize: 512, Width: 4}, Striping{StripeSize: 512, Width: 3}},
+	{"grow 1to4", Striping{Width: 1}, Striping{StripeSize: 512, Width: 4}},
+	{"shrink 4to1", Striping{StripeSize: 512, Width: 4}, Striping{Width: 1}},
+	{"restripe", Striping{StripeSize: 512, Width: 3}, Striping{StripeSize: 768, Width: 3}},
+	{"grow replicated", Striping{StripeSize: 512, Width: 3, Replicas: 2}, Striping{StripeSize: 512, Width: 4, Replicas: 2}},
+}
+
+// Property: every byte of the file is either covered by exactly one move
+// (and the move's endpoints match the two layouts' placements) or keeps
+// an identical placement under both layouts — no extent is orphaned, none
+// is double-moved.
+func TestDiffNoOrphanedExtent(t *testing.T) {
+	for _, tc := range diffCases {
+		for _, n := range []int64{1, 511, 512, 513, 1536, 4096 + 77, 3 * 4096} {
+			moves := Diff(tc.old, tc.new, n)
+			covered := make([]int, n)
+			for _, m := range moves {
+				if m.Len <= 0 {
+					t.Fatalf("%s n=%d: non-positive move %+v", tc.name, n, m)
+				}
+				if m.From.Len != m.Len || m.To.Len != m.Len || m.From.BufOff != m.Off || m.To.BufOff != m.Off {
+					t.Fatalf("%s n=%d: inconsistent move %+v", tc.name, n, m)
+				}
+				for x := m.Off; x < m.Off+m.Len; x++ {
+					covered[x]++
+				}
+			}
+			for x := int64(0); x < n; x++ {
+				of := tc.old.Map(x, 1)[0]
+				wf := tc.new.Map(x, 1)[0]
+				same := of.Server == wf.Server && of.Off == wf.Off
+				switch {
+				case same && covered[x] != 0:
+					t.Fatalf("%s n=%d: byte %d moved despite identical placement", tc.name, n, x)
+				case !same && covered[x] != 1:
+					t.Fatalf("%s n=%d: byte %d covered %d times", tc.name, n, x, covered[x])
+				}
+			}
+			// Endpoint agreement: each move's From/To name the byte's true
+			// placements under the respective layouts.
+			for _, m := range moves {
+				for _, x := range []int64{m.Off, m.Off + m.Len - 1} {
+					of := tc.old.Map(x, 1)[0]
+					wf := tc.new.Map(x, 1)[0]
+					d := x - m.Off
+					if of.Server != m.From.Server || of.Off != m.From.Off+d {
+						t.Fatalf("%s n=%d: move %+v From disagrees with old.Map at %d", tc.name, n, m, x)
+					}
+					if wf.Server != m.To.Server || wf.Off != m.To.Off+d {
+						t.Fatalf("%s n=%d: move %+v To disagrees with new.Map at %d", tc.name, n, m, x)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Property: scattering a file under the old layout, applying Diff's moves
+// (plus identity copies for unmoved pieces), and gathering under the new
+// layout reproduces the original bytes — the scatter/gather inversion a
+// migration relies on across an epoch bump.
+func TestDiffScatterGatherInversion(t *testing.T) {
+	for _, tc := range diffCases {
+		for _, n := range []int64{513, 1536, 3*4096 + 129} {
+			pat := make([]byte, n)
+			for i := range pat {
+				pat[i] = byte(i ^ i>>7 ^ i>>13)
+			}
+			// Scatter under the old layout.
+			oldObjs := objStore(tc.old, n)
+			for _, f := range tc.old.Map(0, n) {
+				copy(oldObjs[f.Server][f.Off:f.Off+f.Len], pat[f.BufOff:f.BufOff+f.Len])
+			}
+			// Migrate: moves from Diff, identity copies for the rest.
+			newObjs := objStore(tc.new, n)
+			moved := make([]bool, n)
+			for _, m := range Diff(tc.old, tc.new, n) {
+				copy(newObjs[m.To.Server][m.To.Off:m.To.Off+m.Len],
+					oldObjs[m.From.Server][m.From.Off:m.From.Off+m.Len])
+				for x := m.Off; x < m.Off+m.Len; x++ {
+					moved[x] = true
+				}
+			}
+			for _, f := range tc.new.Map(0, n) {
+				for d := int64(0); d < f.Len; d++ {
+					if !moved[f.BufOff+d] {
+						src := tc.old.Map(f.BufOff+d, 1)[0]
+						newObjs[f.Server][f.Off+d] = oldObjs[src.Server][src.Off]
+					}
+				}
+			}
+			// Gather under the new layout.
+			got := make([]byte, n)
+			for _, f := range tc.new.Map(0, n) {
+				copy(got[f.BufOff:f.BufOff+f.Len], newObjs[f.Server][f.Off:f.Off+f.Len])
+			}
+			if !bytes.Equal(got, pat) {
+				t.Fatalf("%s n=%d: gather after migration differs from original", tc.name, n)
+			}
+		}
+	}
+}
+
+// Shrinking must leave nothing placed on the departed server.
+func TestDiffShrinkVacatesServer(t *testing.T) {
+	old := Striping{StripeSize: 512, Width: 4}
+	new := Striping{StripeSize: 512, Width: 3}
+	n := int64(16 << 10)
+	for _, m := range Diff(old, new, n) {
+		if m.To.Server >= new.Width {
+			t.Fatalf("move targets departed server: %+v", m)
+		}
+	}
+	for _, f := range new.Map(0, n) {
+		if f.Server >= new.Width {
+			t.Fatalf("new layout places on departed server: %+v", f)
+		}
+	}
+}
+
+func TestDiffEmptyAndIdentity(t *testing.T) {
+	s := Striping{StripeSize: 512, Width: 3}
+	if moves := Diff(s, s, 8<<10); len(moves) != 0 {
+		t.Fatalf("identity diff produced %d moves", len(moves))
+	}
+	if moves := Diff(s, Striping{StripeSize: 512, Width: 4}, 0); moves != nil {
+		t.Fatalf("empty file produced moves: %v", moves)
+	}
+}
+
+// objStore allocates per-server object arrays sized for a dense n-byte
+// file under the striping.
+func objStore(s Striping, n int64) [][]byte {
+	sizes := s.ObjectSizes(n)
+	objs := make([][]byte, s.Width)
+	for i, z := range sizes {
+		objs[i] = make([]byte, z)
+	}
+	return objs
+}
+
+func ExampleDiff() {
+	old := Striping{StripeSize: 4, Width: 2}
+	grown := Striping{StripeSize: 4, Width: 3}
+	for _, m := range Diff(old, grown, 24) {
+		fmt.Printf("[%d,%d) s%d+%d -> s%d+%d\n", m.Off, m.Off+m.Len, m.From.Server, m.From.Off, m.To.Server, m.To.Off)
+	}
+	// Output:
+	// [8,12) s0+4 -> s2+0
+	// [12,16) s1+4 -> s0+4
+	// [16,20) s0+8 -> s1+4
+	// [20,24) s1+8 -> s2+4
+}

@@ -55,6 +55,12 @@ type StripedDAFSDriver struct {
 	// Retries counts redial attempts (stat).
 	Retries int64
 
+	// Resilver bounds background re-silver traffic (heals after a replica
+	// redials, copies during a reshape). The constructor default enables
+	// it; set Rate <= 0 to restore the pre-elastic behaviour where an
+	// excluded replica stays excluded forever.
+	Resilver ResilverPolicy
+
 	// StagePoolMax bounds the registered staging-buffer pool: putStage
 	// trims the pool back to this high-water mark by deregistering and
 	// dropping the smallest buffer. A collective burst can still allocate
@@ -68,6 +74,11 @@ type StripedDAFSDriver struct {
 	gaveUp   []bool                  // per server: recovery exhausted, permanently dead
 	episode  []*sim.Future[struct{}] // per server: in-progress recovery, nil when none
 	epoch    []int                   // per server: recovery episode counter
+	healing  []*sim.Future[struct{}] // per server: in-progress re-silver, nil when none
+
+	handles     []*stripedHandle // open handles (heal / reshape coverage)
+	next        *Reshape         // in-progress reshape, nil when none
+	layoutEpoch uint32           // membership epoch of the current layout
 
 	stagePool []*stageBuf // registered staging buffers for batched gather I/O
 	stageHi   int         // high-water mark of the staging pool
@@ -86,6 +97,10 @@ type stripedMetrics struct {
 	excluded  metrics.Gauge     // servers excluded from read-any
 	stagePool metrics.Gauge     // staging buffers currently pooled
 	stageHi   metrics.Gauge     // staging-pool high water
+	resilver  metrics.Gauge     // re-silver processes currently running
+	resilverB metrics.Counter   // bytes copied by re-silvering
+	readmits  metrics.Counter   // servers re-admitted to read-any after a heal
+	epochG    metrics.Gauge     // membership epoch of the active layout
 	dispatch  []metrics.Counter // fragments issued, per server index
 	flight    *metrics.Flight
 }
@@ -99,6 +114,10 @@ func newStripedMetrics(reg *metrics.Registry, node string, width int) stripedMet
 		excluded:  reg.SharedGauge(pre + "excluded"),
 		stagePool: reg.SharedGauge(pre + "stage_pool"),
 		stageHi:   reg.SharedGauge(pre + "stage_hiwater"),
+		resilver:  reg.SharedGauge(pre + "resilver_active"),
+		resilverB: reg.SharedCounter(pre + "resilver_bytes"),
+		readmits:  reg.SharedCounter(pre + "readmits"),
+		epochG:    reg.SharedGauge(pre + "epoch"),
 		flight:    reg.Flight("mpiio.striped."+node, 0),
 	}
 	m.dispatch = make([]metrics.Counter, width)
@@ -125,11 +144,14 @@ func NewStripedDAFSDriver(clients []*dafs.Client, st layout.Striping) *StripedDA
 		// pinned between operations; anything beyond that is a burst and
 		// is returned to the host at putStage time.
 		StagePoolMax: 2 * st.Width,
+		Resilver:     DefaultResilverPolicy(),
 		down:         make([]bool, st.Width),
 		excluded:     make([]bool, st.Width),
 		gaveUp:       make([]bool, st.Width),
 		episode:      make([]*sim.Future[struct{}], st.Width),
 		epoch:        make([]int, st.Width),
+		healing:      make([]*sim.Future[struct{}], st.Width),
+		layoutEpoch:  1,
 	}
 	for _, c := range clients {
 		if c.NIC() != clients[0].NIC() {
@@ -141,8 +163,12 @@ func NewStripedDAFSDriver(clients []*dafs.Client, st layout.Striping) *StripedDA
 		}
 	}
 	d.m = newStripedMetrics(clients[0].NIC().Provider().Metrics, clients[0].NIC().Node.Name, st.Width)
+	d.m.epochG.Set(int64(d.layoutEpoch))
 	return d
 }
+
+// LayoutEpoch returns the membership epoch of the driver's active layout.
+func (d *StripedDAFSDriver) LayoutEpoch() uint32 { return d.layoutEpoch }
 
 // Clients returns the session pool in server order.
 func (d *StripedDAFSDriver) Clients() []*dafs.Client { return d.clients }
@@ -236,6 +262,13 @@ func (d *StripedDAFSDriver) noteFailure(p *sim.Proc, s int, failed *dafs.Client)
 				d.down[s] = false
 				d.m.down.Add(-1)
 				d.m.flight.Note(rp.Now(), "recovered", "", int64(s), int64(a))
+				// A replica that missed writes while down is stale: the
+				// redial restores the session, not the data. Re-admission
+				// to read-any waits for the background re-silver, never on
+				// dial success alone.
+				if d.excluded[s] && d.Resilver.Rate > 0 {
+					d.startHeal(rp, s)
+				}
 				return
 			}
 		}
@@ -289,18 +322,26 @@ func (h *stripedHandle) waitRecovery(p *sim.Proc, srv int, forRead bool) bool {
 			if h.usable(t, r, forRead) {
 				return true
 			}
-			if !d.gaveUp[t] && h.fhs[t][r] != 0 && !(forRead && d.excluded[t]) {
+			// A server under active re-silvering is excluded only until the
+			// heal completes: readers wait it out rather than declaring the
+			// fragment dead.
+			if !d.gaveUp[t] && h.fhs[t][r] != 0 && (!(forRead && d.excluded[t]) || d.healing[t] != nil) {
 				dead = false
 			}
 		}
 		if dead {
 			return false
 		}
-		// Recovery is in flight on some replica server: wait for the first
-		// episode to settle, then re-evaluate.
+		// Recovery or a re-silver is in flight on some replica server: wait
+		// for the first to settle, then re-evaluate.
 		var fut *sim.Future[struct{}]
 		for r := 0; r < st.R(); r++ {
-			if f := d.episode[st.ReplicaServer(srv, r)]; f != nil {
+			t := st.ReplicaServer(srv, r)
+			if f := d.episode[t]; f != nil {
+				fut = f
+				break
+			}
+			if f := d.healing[t]; f != nil {
 				fut = f
 				break
 			}
@@ -339,7 +380,7 @@ issue:
 		}
 		c := d.clients[t]
 		for r := 0; r < R; r++ {
-			op, err := c.StartLookup(p, layout.ReplicaName(name, r))
+			op, err := c.StartLookup(p, d.objName(name, r))
 			if err != nil {
 				if isSessionErr(err) {
 					d.noteFailure(p, t, c)
@@ -399,7 +440,7 @@ issue:
 				continue
 			}
 			c := d.clients[sl.t]
-			op, err := c.StartCreate(p, layout.ReplicaName(name, sl.r))
+			op, err := c.StartCreate(p, d.objName(name, sl.r))
 			if err != nil {
 				if isSessionErr(err) {
 					d.noteFailure(p, sl.t, c)
@@ -450,7 +491,17 @@ issue:
 			}
 		}
 	}
-	return &stripedHandle{drv: d, fhs: fhs, name: name, mode: mode}, nil
+	h := &stripedHandle{drv: d, fhs: fhs, name: name, mode: mode}
+	d.registerHandle(h)
+	if d.next != nil {
+		// A reshape is in flight: the new handle joins the dual-write
+		// regime so writes it issues land on both layouts.
+		if err := d.next.attach(p, h); err != nil {
+			h.Close(p)
+			return nil, err
+		}
+	}
+	return h, nil
 }
 
 // Delete implements Driver: every rank's stripe object is removed on every
@@ -473,7 +524,7 @@ issue:
 		}
 		c := d.clients[t]
 		for r := 0; r < R; r++ {
-			op, err := c.StartRemove(p, layout.ReplicaName(name, r))
+			op, err := c.StartRemove(p, d.objName(name, r))
 			if err != nil {
 				if isSessionErr(err) {
 					d.noteFailure(p, t, c)
@@ -522,6 +573,10 @@ type stripedHandle struct {
 	name   string
 	mode   int
 	closed bool
+
+	// shadow mirrors writes onto the reshape's new layout while a
+	// membership change is migrating this file; nil outside a reshape.
+	shadow *stripedHandle
 }
 
 func (h *stripedHandle) check(off int64, write bool) error {
@@ -662,7 +717,18 @@ func (h *stripedHandle) StartWrite(p *sim.Proc, off int64, buf []byte) (AsyncOp,
 			ops[i][r] = fragOp{op: &dafsOp{io: io, drv: d.DAFSDriver}, c: c, t: t}
 		}
 	}
-	return &stripedWriteOp{h: h, frags: frags, ops: ops, buf: buf, reg: reg}, nil
+	op := AsyncOp(&stripedWriteOp{h: h, frags: frags, ops: ops, buf: buf, reg: reg})
+	if h.shadow != nil {
+		// Reshape in flight: mirror the write onto the new layout so the
+		// migrator never races foreground writes it cannot see.
+		sop, err := h.shadow.StartWrite(p, off, buf)
+		if err != nil {
+			op.Wait(p)
+			return nil, err
+		}
+		op = mirroredOp{op, sop}
+	}
+	return op, nil
 }
 
 // drainFrags waits out already-launched fragment ops after an issue
@@ -1003,9 +1069,13 @@ func (h *stripedHandle) Resize(p *sim.Proc, n int64) error {
 	}
 	sizes := h.drv.striping.ObjectSizes(n)
 	W := h.drv.striping.Width
-	return h.ackWave(p, func(c *dafs.Client, t, r int) (*dafs.Ack, error) {
+	err := h.ackWave(p, func(c *dafs.Client, t, r int) (*dafs.Ack, error) {
 		return c.StartSetattr(p, h.fhs[t][r], sizes[(t-r+W)%W])
 	})
+	if err == nil && h.shadow != nil {
+		err = h.shadow.Resize(p, n)
+	}
+	return err
 }
 
 // Sync implements Handle: every rank object's Fsync is in flight at once.
@@ -1013,9 +1083,13 @@ func (h *stripedHandle) Sync(p *sim.Proc) error {
 	if h.closed {
 		return ErrClosed
 	}
-	return h.ackWave(p, func(c *dafs.Client, t, r int) (*dafs.Ack, error) {
+	err := h.ackWave(p, func(c *dafs.Client, t, r int) (*dafs.Ack, error) {
 		return c.StartFsync(p, h.fhs[t][r])
 	})
+	if err == nil && h.shadow != nil {
+		err = h.shadow.Sync(p)
+	}
+	return err
 }
 
 // ackWave runs one acknowledgement-only operation on every rank object of
@@ -1106,6 +1180,12 @@ func (h *stripedHandle) Close(p *sim.Proc) error {
 		return nil
 	}
 	h.closed = true
+	h.drv.dropHandle(h)
+	if h.shadow != nil {
+		sh := h.shadow
+		h.shadow = nil
+		sh.Close(p)
+	}
 	if h.mode&ModeDeleteOnClose != 0 {
 		return h.drv.Delete(p, h.name)
 	}

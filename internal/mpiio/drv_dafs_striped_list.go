@@ -97,7 +97,18 @@ func (h *stripedHandle) StartReadList(p *sim.Proc, segs []Segment, buf []byte) (
 
 // StartWriteList implements ListHandle over the stripe.
 func (h *stripedHandle) StartWriteList(p *sim.Proc, segs []Segment, buf []byte) (AsyncOp, error) {
-	return h.startStripedList(p, segs, buf, true)
+	op, err := h.startStripedList(p, segs, buf, true)
+	if err != nil || h.shadow == nil {
+		return op, err
+	}
+	// Reshape in flight: batched writes mirror onto the new layout exactly
+	// like contiguous ones.
+	sop, err := h.shadow.startStripedList(p, segs, buf, true)
+	if err != nil {
+		op.Wait(p)
+		return nil, err
+	}
+	return mirroredOp{op, sop}, nil
 }
 
 func (h *stripedHandle) startStripedList(p *sim.Proc, segs []Segment, buf []byte, write bool) (AsyncOp, error) {
